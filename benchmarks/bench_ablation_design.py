@@ -1,0 +1,68 @@
+"""Ablation benches for design choices DESIGN.md calls out.
+
+* Winograd tile size F(2,3) vs F(4,3): larger tiles cut multiplications
+  further (36 vs 16 per 4 outputs -> 2.25x vs 4x) but grow the transform
+  add census and the transformed-domain dynamic range.
+* Systolic dataflow (WS/OS/IS): runtime of both execution modes under each.
+"""
+
+from repro.accel import ArrayConfig, Dataflow, simulate_network
+from repro.experiments.common import prepare_benchmark, quantized_pair
+from repro.faultsim import CampaignConfig, run_point
+
+
+def test_ablation_winograd_tile(benchmark, profile):
+    def run():
+        prep = prepare_benchmark("vgg19", profile)
+        x = prep.eval_x[: profile.eval_samples]
+        y = prep.eval_y[: profile.eval_samples]
+        ber = 1e-5
+        out = {}
+        for tile in (2, 4):
+            _, qm_wg = quantized_pair(prep, 16, profile, wg_tile=tile)
+            config = CampaignConfig(
+                seeds=profile.seeds, batch_size=profile.batch_size,
+                max_samples=profile.eval_samples,
+            )
+            point = run_point(qm_wg, x, y, ber, config)
+            counts = qm_wg.total_op_counts()
+            out[tile] = {
+                "accuracy": point.mean_accuracy,
+                "muls": counts.muls,
+                "adds": counts.adds,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Winograd tile ablation @ BER 1e-5 (VGG19 int16)")
+    print(f"{'tile':>6} {'accuracy':>9} {'muls':>12} {'adds':>12}")
+    for tile, row in results.items():
+        print(f"F({tile},3) {row['accuracy']:>9.3f} {row['muls']:>12,} {row['adds']:>12,}")
+    assert results[4]["muls"] < results[2]["muls"]
+
+
+def test_ablation_dataflow(benchmark, profile):
+    def run():
+        prep = prepare_benchmark("vgg19", profile)
+        qm_st, qm_wg = quantized_pair(prep, 16, profile)
+        out = {}
+        for dataflow in Dataflow.ALL:
+            config = ArrayConfig(rows=16, cols=16, dataflow=dataflow)
+            out[dataflow] = {
+                "standard": simulate_network(qm_st, config, batch=16).total_cycles,
+                "winograd": simulate_network(qm_wg, config, batch=16).total_cycles,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Dataflow ablation (VGG19 int16, 16x16 array, batch 16)")
+    print(f"{'dataflow':>9} {'ST cycles':>12} {'WG cycles':>12} {'speedup':>8}")
+    for dataflow, row in results.items():
+        speedup = row["standard"] / row["winograd"]
+        print(
+            f"{dataflow:>9} {row['standard']:>12,} {row['winograd']:>12,} "
+            f"{speedup:>8.2f}"
+        )
+        assert row["winograd"] < row["standard"]

@@ -1,0 +1,23 @@
+"""Regenerates Figure 1: neuron-level vs operation-level fault injection.
+
+Expected shape (paper): the neuron-level series for standard and Winograd
+convolution coincide; only the operation-level platform separates them.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_neuron_vs_operation_injection(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig1.run(profile), rounds=1, iterations=1
+    )
+    print()
+    print(fig1.format_report(payload))
+
+    series = payload["series"]
+    neuron_gap = max(
+        abs(a["mean_accuracy"] - b["mean_accuracy"])
+        for a, b in zip(series["standard/neuron"], series["winograd/neuron"])
+    )
+    # Neuron-level injection cannot distinguish the two algorithms.
+    assert neuron_gap < 0.05

@@ -1,0 +1,26 @@
+"""Regenerates Figure 2: accuracy vs BER for standard vs Winograd DNNs.
+
+Expected shape (paper): Winograd accuracy >= standard at every BER, with
+the improvement peaking mid-cliff (paper reports up to +35 points); int16
+models degrade at lower BER than int8.
+"""
+
+from benchmarks.conftest import bench_networks
+from repro.experiments import fig2
+
+
+def test_fig2_network_fault_tolerance(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig2.run(profile, benchmarks=bench_networks()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig2.format_report(payload))
+
+    for panel in payload["panels"].values():
+        for data in panel["widths"].values():
+            # Winograd never loses by more than Monte-Carlo noise ...
+            assert all(d > -0.10 for d in data["improvement"])
+            # ... and wins somewhere on the sweep.
+            assert max(data["improvement"]) > 0.0

@@ -1,0 +1,22 @@
+"""Regenerates Figure 3: layer-wise fault tolerance of VGG19.
+
+Expected shape (paper): protecting any single layer recovers some accuracy;
+mid-network layers with the most multiplications are the most critical, and
+the Winograd baseline sits above the standard-conv baseline.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_layer_vulnerability(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig3.run(profile), rounds=1, iterations=1
+    )
+    print()
+    print(fig3.format_report(payload))
+
+    st = payload["standard"]
+    wg = payload["winograd"]
+    assert wg["baseline_accuracy"] >= st["baseline_accuracy"] - 0.05
+    best = max(lv["vulnerability_factor"] for lv in st["layers"])
+    assert best >= 0.0

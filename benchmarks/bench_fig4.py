@@ -1,0 +1,25 @@
+"""Regenerates Figure 4: operation-type sensitivity across the suite.
+
+Expected shape (paper): keeping multiplications fault-free recovers far
+more accuracy than keeping additions fault-free, in both execution modes;
+Winograd's only-multiplication-fault accuracy matches standard conv's
+despite executing 2.25x fewer multiplications.
+"""
+
+from benchmarks.conftest import bench_networks
+from repro.experiments import fig4
+
+
+def test_fig4_operation_type_sensitivity(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig4.run(profile, benchmarks=bench_networks()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig4.format_report(payload))
+
+    wins = sum(
+        e["ST-Conv-Mul"] >= e["ST-Conv-Add"] for e in payload["entries"]
+    )
+    assert wins >= len(payload["entries"]) - 1  # allow one noisy config

@@ -1,0 +1,23 @@
+"""Regenerates Figure 5: normalized fine-grained TMR overhead.
+
+Expected shape (paper): overhead grows with the accuracy goal for every
+scheme; WG-Conv-W/AFT needs the least protection (paper: -61.21% vs
+ST-Conv, -27.49% vs WG-Conv-W/O-AFT on average).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_tmr_overhead(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig5.run(profile, goal_fractions=(0.65, 0.80, 0.95)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig5.format_report(payload))
+
+    norm = payload["normalized_overheads"]
+    for i in range(len(payload["goals"])):
+        assert norm["WG-Conv-W/AFT"][i] <= norm["ST-Conv"][i] + 1e-9
+    assert payload["average_reduction"]["vs ST-Conv"] >= 0.0

@@ -1,0 +1,25 @@
+"""Regenerates Figure 6: voltage vs BER vs model accuracy.
+
+Expected shape (paper): BER rises exponentially as voltage drops; accuracy
+stays at the fault-free level over most of the range and falls at the
+bottom, with Winograd holding out to lower voltages than standard conv.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_voltage_accuracy(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig6.run(profile), rounds=1, iterations=1
+    )
+    print()
+    print(fig6.format_report(payload))
+
+    rows = payload["rows"]
+    # BER monotone decreasing in voltage.
+    bers = [r["ber"] for r in rows]
+    assert all(a >= b for a, b in zip(bers, bers[1:]))
+    # Winograd accuracy >= standard at every voltage (within noise).
+    assert all(
+        r["accuracy_winograd"] >= r["accuracy_standard"] - 0.05 for r in rows
+    )

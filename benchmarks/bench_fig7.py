@@ -1,0 +1,22 @@
+"""Regenerates Figure 7: voltage-scaling-assisted energy consumption.
+
+Expected shape (paper): every scheme beats the 0.9 V baseline;
+WG-Conv-W/AFT is cheapest (paper: -42.89% vs voltage-scaled ST-Conv,
+-7.19% vs the fault-tolerance-unaware Winograd scheme on average).
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_voltage_scaling_energy(benchmark, profile):
+    payload = benchmark.pedantic(
+        lambda: fig7.run(profile), rounds=1, iterations=1
+    )
+    print()
+    print(fig7.format_report(payload))
+
+    for col in payload["columns"]:
+        n = col["normalized"]
+        assert n["WG-Conv-W/AFT"] <= n["WG-Conv-W/O-AFT"] + 1e-9
+        assert n["WG-Conv-W/AFT"] < n["Base"]
+    assert payload["average_reduction"]["vs ST-Conv"] > 0.0

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the computational kernels (throughput tracking).
+
+These run at real pytest-benchmark cadence (multiple rounds) since each
+call is milliseconds: Winograd vs direct convolution kernels, the integer
+quantized paths, and one fault-injected forward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faultsim import OperationLevelInjector
+from repro.utils.im2col import im2col
+from repro.winograd import (
+    get_transform,
+    transform_filter_int,
+    winograd_conv2d_float,
+    winograd_conv2d_int,
+)
+
+N, C, K, H = 4, 32, 32, 32
+
+
+@pytest.fixture(scope="module")
+def float_inputs():
+    rng = np.random.default_rng(0)
+    return (
+        rng.standard_normal((N, C, H, H)).astype(np.float32),
+        rng.standard_normal((K, C, 3, 3)).astype(np.float32),
+    )
+
+
+@pytest.fixture(scope="module")
+def int_inputs():
+    rng = np.random.default_rng(0)
+    x = rng.integers(-(2**12), 2**12, size=(N, C, H, H)).astype(np.int64)
+    w = rng.integers(-(2**12), 2**12, size=(K, C, 3, 3)).astype(np.int64)
+    return x, w
+
+
+def test_direct_conv_float(benchmark, float_inputs):
+    x, w = float_inputs
+
+    def run():
+        cols = im2col(x, (3, 3), 1, 1)
+        return np.einsum("kr,nrp->nkp", w.reshape(K, -1), cols)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_winograd_conv_float(benchmark, float_inputs, m):
+    x, w = float_inputs
+    benchmark(lambda: winograd_conv2d_float(x, w, padding=1, m=m))
+
+
+def test_winograd_conv_int(benchmark, int_inputs):
+    x, w = int_inputs
+    v = transform_filter_int(w, get_transform(2, 3))
+    benchmark(lambda: winograd_conv2d_int(x, v, padding=1, m=2, keep_intermediates=False))
+
+
+def test_filter_transform_int(benchmark, int_inputs):
+    _, w = int_inputs
+    tf = get_transform(2, 3)
+    benchmark(lambda: transform_filter_int(w, tf))
+
+
+def test_injected_forward(benchmark, int_inputs):
+    """One Winograd conv with operation-level faults at a cliff-scale BER."""
+    x, w = int_inputs
+    tf = get_transform(2, 3)
+    v = transform_filter_int(w, tf)
+
+    def run():
+        return winograd_conv2d_int(x, v, padding=1, m=2, keep_intermediates=True)
+
+    benchmark(run)

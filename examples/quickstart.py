@@ -1,0 +1,84 @@
+"""Quickstart: train a small CNN, quantize it both ways, inject faults.
+
+Demonstrates the library's core loop in under a minute:
+
+1. build + train a small network on synthetic data (pure NumPy);
+2. post-training-quantize it to int16, once with standard convolution and
+   once with integer-exact Winograd convolution;
+3. verify the two executions are bit-identical fault-free;
+4. inject operation-level faults at increasing bit error rates and watch
+   Winograd's fault-tolerance advantage appear.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datasets import DatasetSpec, make_dataset
+from repro.faultsim import CampaignConfig, run_point
+from repro.nn import Adam, GraphBuilder, TrainConfig, initialize, train
+from repro.quantized import QuantConfig, quantize_model
+
+
+def build_model(classes: int):
+    """A VGG-flavored 4-conv network."""
+    b = GraphBuilder("quickstart", input_shape=(3, 16, 16))
+    x = b.input_node
+    for i, width in enumerate((16, 16, 32, 32), start=1):
+        x = b.conv2d(x, width, kernel=3, padding=1, name=f"conv{i}")
+        x = b.batchnorm2d(x, name=f"bn{i}")
+        x = b.relu(x, name=f"relu{i}")
+        if i % 2 == 0:
+            x = b.maxpool2d(x, kernel=2, stride=2, name=f"pool{i}")
+    x = b.flatten(b.globalavgpool(x))
+    return b.output(b.linear(x, classes, name="fc"))
+
+
+def main() -> None:
+    # 1. Data + training -----------------------------------------------------
+    spec = DatasetSpec(name="quickstart", classes=6, image_size=16, seed=11)
+    data = make_dataset(spec, train_per_class=50, test_per_class=15)
+    model = build_model(spec.classes)
+    initialize(model, seed=0)
+    result = train(
+        model,
+        Adam(model, 3e-3),
+        data.train_x,
+        data.train_y,
+        data.test_x,
+        data.test_y,
+        TrainConfig(epochs=10, batch_size=50, target_accuracy=0.97),
+    )
+    print(f"float model accuracy: {result.final_eval_accuracy:.3f}")
+
+    # 2. Quantize both execution modes ---------------------------------------
+    calib = data.train_x[:100]
+    qm_standard = quantize_model(model, calib, QuantConfig(width=16), "standard")
+    qm_winograd = quantize_model(model, calib, QuantConfig(width=16), "winograd")
+
+    # 3. Winograd is a lossless rewrite: outputs are bit-identical -----------
+    logits_st = qm_standard.forward(data.test_x[:16])
+    logits_wg = qm_winograd.forward(data.test_x[:16])
+    assert np.array_equal(logits_st, logits_wg)
+    print("standard and Winograd integer outputs are bit-identical (fault-free)")
+    counts_st = qm_standard.total_op_counts()
+    counts_wg = qm_winograd.total_op_counts()
+    print(
+        f"multiplications per inference: standard {counts_st.muls:,} "
+        f"-> winograd {counts_wg.muls:,} "
+        f"({counts_st.muls / counts_wg.muls:.2f}x fewer)"
+    )
+
+    # 4. Fault injection ------------------------------------------------------
+    config = CampaignConfig(seeds=(0, 1))
+    print(f"\n{'BER':>9} {'standard':>9} {'winograd':>9}")
+    for ber in (1e-6, 1e-5, 1e-4, 3e-4):
+        st = run_point(qm_standard, data.test_x, data.test_y, ber, config)
+        wg = run_point(qm_winograd, data.test_x, data.test_y, ber, config)
+        print(f"{ber:>9.0e} {st.mean_accuracy:>9.3f} {wg.mean_accuracy:>9.3f}")
+    print("\nWinograd executes fewer multiplications — the operation class that")
+    print("dominates soft-error vulnerability — so it degrades later.")
+
+
+if __name__ == "__main__":
+    main()

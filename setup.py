@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables `pip install -e . --no-use-pep517`; all metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "Winograd Convolution: A Perspective from Fault
+Tolerance" (Xue et al., DAC 2022).
+
+Subpackages
+-----------
+``repro.fixedpoint``
+    Q-format fixed-point arithmetic and two's-complement bit flips.
+``repro.winograd``
+    Cook–Toom transform construction, integer-exact F(m, r) convolution,
+    DWM decomposition for large kernels/strides, op counting.
+``repro.nn``
+    Minimal NumPy DNN framework (graph IR, training, inference).
+``repro.quantized``
+    BN folding, post-training quantization, integer direct & Winograd
+    executors with fault-injection hooks.
+``repro.models`` / ``repro.datasets``
+    Width-scaled benchmark networks and synthetic datasets.
+``repro.faultsim``
+    The paper's operation-level fault-injection platform plus a
+    neuron-level baseline injector, protection plans, campaigns.
+``repro.analysis`` / ``repro.tmr``
+    Layer vulnerability, op-type sensitivity, fine-grained TMR planning.
+``repro.accel``
+    Scale-Sim-style systolic timing, DNN-Engine voltage/power models, DVFS.
+``repro.experiments``
+    Drivers regenerating every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    FaultModelError,
+    MappingError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    TrainingError,
+    TransformError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "QuantizationError",
+    "TransformError",
+    "ShapeError",
+    "FaultModelError",
+    "MappingError",
+    "TrainingError",
+]

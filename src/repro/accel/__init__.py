@@ -1,0 +1,33 @@
+"""Accelerator models: systolic timing, voltage/BER, power, DVFS search."""
+
+from repro.accel.config import DNN_ENGINE, ArrayConfig, Dataflow
+from repro.accel.dataflow import GemmShape, GemmTiming, gemm_timing
+from repro.accel.simulator import LayerTiming, NetworkTiming, simulate_network
+from repro.accel.voltage import DNN_ENGINE_VBER, VoltageBerModel
+from repro.accel.power import DNN_ENGINE_POWER, PowerModel
+from repro.accel.dvfs import (
+    AccuracyCurve,
+    VoltageOperatingPoint,
+    min_voltage_for_accuracy,
+    scheme_energies,
+)
+
+__all__ = [
+    "ArrayConfig",
+    "Dataflow",
+    "DNN_ENGINE",
+    "GemmShape",
+    "GemmTiming",
+    "gemm_timing",
+    "LayerTiming",
+    "NetworkTiming",
+    "simulate_network",
+    "VoltageBerModel",
+    "DNN_ENGINE_VBER",
+    "PowerModel",
+    "DNN_ENGINE_POWER",
+    "AccuracyCurve",
+    "VoltageOperatingPoint",
+    "min_voltage_for_accuracy",
+    "scheme_energies",
+]

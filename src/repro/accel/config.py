@@ -1,0 +1,75 @@
+"""Accelerator configuration and the DNN-Engine-like preset.
+
+The paper's energy study (§4.2) runs VGG19 on "a typical neural network
+accelerator" (Whatmough et al., JSSC 2018 — the 28 nm DNN Engine: 0.9 V
+nominal at 667 MHz, voltage-scalable to 0.7 V) with runtime estimated by a
+simulator "modified on top of Scale-Sim".  This module defines the array
+geometry, memory and clocking parameters those models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Dataflow", "ArrayConfig", "DNN_ENGINE"]
+
+
+class Dataflow:
+    """Systolic dataflow identifiers (Scale-Sim's three classics)."""
+
+    WEIGHT_STATIONARY = "ws"
+    OUTPUT_STATIONARY = "os"
+    INPUT_STATIONARY = "is"
+
+    ALL = (WEIGHT_STATIONARY, OUTPUT_STATIONARY, INPUT_STATIONARY)
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Systolic-array and memory-system parameters.
+
+    Attributes
+    ----------
+    rows, cols:
+        PE array dimensions.
+    dataflow:
+        One of :class:`Dataflow`.
+    vector_lanes:
+        Width of the scalar/vector unit that executes Winograd transforms,
+        bias adds and sub-conv recombination (ops per cycle).
+    ifmap_sram_kb, filter_sram_kb, ofmap_sram_kb:
+        Scratchpad sizes (traffic accounting).
+    frequency_hz:
+        Nominal clock.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    dataflow: str = Dataflow.WEIGHT_STATIONARY
+    vector_lanes: int = 16
+    ifmap_sram_kb: int = 64
+    filter_sram_kb: int = 64
+    ofmap_sram_kb: int = 64
+    frequency_hz: float = 667e6
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array dimensions must be positive")
+        if self.dataflow not in Dataflow.ALL:
+            raise ConfigurationError(
+                f"dataflow must be one of {Dataflow.ALL}, got {self.dataflow!r}"
+            )
+        if self.vector_lanes < 1:
+            raise ConfigurationError("vector_lanes must be positive")
+
+
+#: The paper's target accelerator: DNN-Engine-like 28 nm design at 667 MHz.
+DNN_ENGINE = ArrayConfig(
+    rows=16,
+    cols=16,
+    dataflow=Dataflow.WEIGHT_STATIONARY,
+    vector_lanes=16,
+    frequency_hz=667e6,
+)

@@ -1,0 +1,106 @@
+"""Analytical systolic-array GEMM timing (Scale-Sim-style equations).
+
+Scale-Sim (Samajdar et al., 2018) models a GEMM ``(M x K) @ (K x N)`` on an
+``R x C`` array as a sequence of *folds*: the stationary tensor is tiled
+onto the array, and each fold streams the moving tensor through the
+pipeline.  Cycle counts per fold are the streamed extent plus pipeline
+fill/drain; SRAM traffic follows from which tensor is re-fetched per fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import ArrayConfig, Dataflow
+from repro.errors import MappingError
+from repro.utils.mathx import ceil_div
+
+__all__ = ["GemmShape", "GemmTiming", "gemm_timing"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """``(M x K) @ (K x N)``: M output rows, K reduction, N output columns."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.k < 1 or self.n < 1:
+            raise MappingError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates."""
+        return self.m * self.k * self.n
+
+
+@dataclass
+class GemmTiming:
+    """Cycle count and scratchpad traffic (element granularity) of one GEMM."""
+
+    cycles: int
+    ifmap_reads: int
+    filter_reads: int
+    ofmap_writes: int
+    folds: int
+
+    def __add__(self, other: "GemmTiming") -> "GemmTiming":
+        return GemmTiming(
+            cycles=self.cycles + other.cycles,
+            ifmap_reads=self.ifmap_reads + other.ifmap_reads,
+            filter_reads=self.filter_reads + other.filter_reads,
+            ofmap_writes=self.ofmap_writes + other.ofmap_writes,
+            folds=self.folds + other.folds,
+        )
+
+
+def _ws_timing(shape: GemmShape, rows: int, cols: int) -> GemmTiming:
+    """Weight stationary: a (K_t x N_t) filter tile resides in the array;
+    ifmap rows stream through.  Partial sums spill across K folds."""
+    folds_k = ceil_div(shape.k, rows)
+    folds_n = ceil_div(shape.n, cols)
+    folds = folds_k * folds_n
+    per_fold = 2 * rows + cols + shape.m - 2  # load + stream M + drain
+    cycles = folds * per_fold
+    ifmap_reads = shape.m * shape.k * folds_n  # ifmap re-read per N fold
+    filter_reads = shape.k * shape.n  # each filter element loaded once
+    ofmap_writes = shape.m * shape.n * folds_k  # psum spills across K folds
+    return GemmTiming(cycles, ifmap_reads, filter_reads, ofmap_writes, folds)
+
+
+def _os_timing(shape: GemmShape, rows: int, cols: int) -> GemmTiming:
+    """Output stationary: an (M_t x N_t) output tile accumulates in place;
+    both operands stream for K cycles per fold."""
+    folds_m = ceil_div(shape.m, rows)
+    folds_n = ceil_div(shape.n, cols)
+    folds = folds_m * folds_n
+    per_fold = shape.k + rows + cols - 2
+    cycles = folds * per_fold
+    ifmap_reads = shape.m * shape.k * folds_n
+    filter_reads = shape.k * shape.n * folds_m
+    ofmap_writes = shape.m * shape.n
+    return GemmTiming(cycles, ifmap_reads, filter_reads, ofmap_writes, folds)
+
+
+def _is_timing(shape: GemmShape, rows: int, cols: int) -> GemmTiming:
+    """Input stationary: a (K_t x M_t) ifmap tile resides; filters stream."""
+    folds_k = ceil_div(shape.k, rows)
+    folds_m = ceil_div(shape.m, cols)
+    folds = folds_k * folds_m
+    per_fold = 2 * rows + cols + shape.n - 2
+    cycles = folds * per_fold
+    ifmap_reads = shape.m * shape.k
+    filter_reads = shape.k * shape.n * folds_m
+    ofmap_writes = shape.m * shape.n * folds_k
+    return GemmTiming(cycles, ifmap_reads, filter_reads, ofmap_writes, folds)
+
+
+def gemm_timing(shape: GemmShape, config: ArrayConfig) -> GemmTiming:
+    """Timing of one GEMM under the configured dataflow."""
+    if config.dataflow == Dataflow.WEIGHT_STATIONARY:
+        return _ws_timing(shape, config.rows, config.cols)
+    if config.dataflow == Dataflow.OUTPUT_STATIONARY:
+        return _os_timing(shape, config.rows, config.cols)
+    return _is_timing(shape, config.rows, config.cols)

@@ -1,0 +1,187 @@
+"""Voltage scaling under accuracy constraints (paper §4.2, Figs. 6-7).
+
+Given a model's accuracy-vs-BER curve and the accelerator's voltage-BER
+characteristic, find the lowest supply voltage whose induced errors keep
+accuracy within the allowed loss, then price the resulting inference energy
+with the runtime and power models.
+
+The three schemes mirror the TMR study:
+
+* **ST-Conv** — standard convolution; picks its voltage from its own curve.
+* **WG-Conv-W/O-AFT** — runs Winograd (cheaper runtime) but, unaware of
+  Winograd's extra tolerance, derives its voltage from the *standard*
+  convolution's accuracy curve (conservative).
+* **WG-Conv-W/AFT** — Winograd runtime *and* Winograd accuracy curve, so
+  it scales deeper and saves the additional energy the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.power import DNN_ENGINE_POWER, PowerModel
+from repro.accel.voltage import DNN_ENGINE_VBER, VoltageBerModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AccuracyCurve",
+    "VoltageOperatingPoint",
+    "min_voltage_for_accuracy",
+    "scheme_energies",
+]
+
+
+@dataclass
+class AccuracyCurve:
+    """Monotone accuracy-vs-BER curve from a fault-injection sweep.
+
+    Interpolates accuracy in ``log10(BER)``; below the lowest measured BER
+    the fault-free accuracy applies, above the highest the worst measured
+    accuracy applies.
+    """
+
+    bers: np.ndarray
+    accuracies: np.ndarray
+    fault_free_accuracy: float
+
+    def __init__(self, bers, accuracies, fault_free_accuracy: float):
+        bers = np.asarray(bers, dtype=np.float64)
+        accuracies = np.asarray(accuracies, dtype=np.float64)
+        if bers.shape != accuracies.shape or bers.ndim != 1 or bers.size == 0:
+            raise ConfigurationError("bers and accuracies must be equal-length 1-D")
+        if np.any(bers <= 0):
+            raise ConfigurationError("BER samples must be positive")
+        order = np.argsort(bers)
+        self.bers = bers[order]
+        self.accuracies = accuracies[order]
+        self.fault_free_accuracy = float(fault_free_accuracy)
+
+    def accuracy_at(self, ber: float) -> float:
+        """Interpolated accuracy at ``ber``."""
+        if ber <= 0 or ber < self.bers[0]:
+            return self.fault_free_accuracy
+        log_b = np.log10(ber)
+        return float(
+            np.interp(log_b, np.log10(self.bers), self.accuracies)
+        )
+
+
+@dataclass
+class VoltageOperatingPoint:
+    """One scheme's chosen operating point and its cost."""
+
+    scheme: str
+    voltage: float
+    ber: float
+    accuracy: float
+    cycles: int
+    energy_joules: float
+    feasible: bool
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "scheme": self.scheme,
+            "voltage": self.voltage,
+            "ber": self.ber,
+            "accuracy": self.accuracy,
+            "cycles": self.cycles,
+            "energy_joules": self.energy_joules,
+            "feasible": self.feasible,
+        }
+
+
+def min_voltage_for_accuracy(
+    curve: AccuracyCurve,
+    accuracy_floor: float,
+    vber: VoltageBerModel = DNN_ENGINE_VBER,
+    step_mv: float = 2.5,
+) -> tuple[float, bool]:
+    """Lowest voltage keeping ``curve`` accuracy at or above the floor.
+
+    Scans the operating range downward in ``step_mv`` increments (accuracy
+    is monotone in voltage through the BER curve).  Returns ``(voltage,
+    feasible)``; infeasible floors pin to the maximum voltage.
+    """
+    voltages = np.arange(vber.v_max, vber.v_min - 1e-9, -step_mv / 1000.0)
+    best = None
+    for voltage in voltages:
+        accuracy = curve.accuracy_at(vber.ber(float(voltage)))
+        if accuracy >= accuracy_floor:
+            best = float(voltage)
+        else:
+            break
+    if best is None:
+        return vber.v_max, curve.accuracy_at(vber.ber(vber.v_max)) >= accuracy_floor
+    return best, True
+
+
+def scheme_energies(
+    curve_standard: AccuracyCurve,
+    curve_winograd: AccuracyCurve,
+    cycles_standard: int,
+    cycles_winograd: int,
+    accuracy_loss: float,
+    vber: VoltageBerModel = DNN_ENGINE_VBER,
+    power: PowerModel = DNN_ENGINE_POWER,
+) -> dict[str, VoltageOperatingPoint]:
+    """Fig. 7's four bars at one accuracy-loss constraint.
+
+    ``accuracy_loss`` is relative to each execution's fault-free accuracy
+    (e.g. 0.03 for the 3 % constraint).  Returns operating points for the
+    0.9 V baseline and the three voltage-scaled schemes.
+    """
+    floor_st = curve_standard.fault_free_accuracy - accuracy_loss
+    floor_wg = curve_winograd.fault_free_accuracy - accuracy_loss
+
+    baseline = VoltageOperatingPoint(
+        scheme="Base",
+        voltage=vber.v_max,
+        ber=vber.ber(vber.v_max),
+        accuracy=curve_standard.fault_free_accuracy,
+        cycles=cycles_standard,
+        energy_joules=power.energy(vber.v_max, cycles_standard),
+        feasible=True,
+    )
+
+    v_st, ok_st = min_voltage_for_accuracy(curve_standard, floor_st, vber)
+    st = VoltageOperatingPoint(
+        scheme="ST-Conv",
+        voltage=v_st,
+        ber=vber.ber(v_st),
+        accuracy=curve_standard.accuracy_at(vber.ber(v_st)),
+        cycles=cycles_standard,
+        energy_joules=power.energy(v_st, cycles_standard),
+        feasible=ok_st,
+    )
+
+    # Unaware: winograd execution at the voltage the ST curve allows.
+    wo_aft = VoltageOperatingPoint(
+        scheme="WG-Conv-W/O-AFT",
+        voltage=v_st,
+        ber=vber.ber(v_st),
+        accuracy=curve_winograd.accuracy_at(vber.ber(v_st)),
+        cycles=cycles_winograd,
+        energy_joules=power.energy(v_st, cycles_winograd),
+        feasible=ok_st,
+    )
+
+    v_wg, ok_wg = min_voltage_for_accuracy(curve_winograd, floor_wg, vber)
+    w_aft = VoltageOperatingPoint(
+        scheme="WG-Conv-W/AFT",
+        voltage=v_wg,
+        ber=vber.ber(v_wg),
+        accuracy=curve_winograd.accuracy_at(vber.ber(v_wg)),
+        cycles=cycles_winograd,
+        energy_joules=power.energy(v_wg, cycles_winograd),
+        feasible=ok_wg,
+    )
+
+    return {
+        "Base": baseline,
+        "ST-Conv": st,
+        "WG-Conv-W/O-AFT": wo_aft,
+        "WG-Conv-W/AFT": w_aft,
+    }

@@ -1,0 +1,47 @@
+"""Accelerator power model under voltage scaling.
+
+Dynamic power follows the CMOS ``C V^2 f`` law; leakage grows super-linearly
+with supply voltage (modeled cubic, a standard fit in the 28 nm regime).
+Nominal numbers approximate the DNN Engine (Whatmough, JSSC 2018): a 28 nm
+design dissipating tens of milliwatts at 0.9 V / 667 MHz.  Absolute watts
+cancel in the paper's normalized energy comparisons; what matters is the
+V-dependence and the dynamic/leakage split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerModel", "DNN_ENGINE_POWER"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """``P(V) = P_dyn * (V/V_nom)^2 * (f/f_nom) + P_leak * (V/V_nom)^3``."""
+
+    v_nom: float = 0.9
+    f_nom_hz: float = 667e6
+    p_dynamic_w: float = 0.056
+    p_leakage_w: float = 0.008
+
+    def power(self, voltage: float, frequency_hz: float | None = None) -> float:
+        """Total power (watts) at ``voltage`` and optional frequency."""
+        if voltage <= 0:
+            raise ConfigurationError(f"voltage must be positive, got {voltage}")
+        frequency_hz = self.f_nom_hz if frequency_hz is None else frequency_hz
+        ratio_v = voltage / self.v_nom
+        dynamic = self.p_dynamic_w * ratio_v**2 * (frequency_hz / self.f_nom_hz)
+        leakage = self.p_leakage_w * ratio_v**3
+        return dynamic + leakage
+
+    def energy(self, voltage: float, cycles: int, frequency_hz: float | None = None) -> float:
+        """Energy (joules) to execute ``cycles`` at ``voltage``."""
+        frequency_hz = self.f_nom_hz if frequency_hz is None else frequency_hz
+        runtime = cycles / frequency_hz
+        return self.power(voltage, frequency_hz) * runtime
+
+
+#: Nominal DNN-Engine-like operating point.
+DNN_ENGINE_POWER = PowerModel()

@@ -1,0 +1,77 @@
+"""Supply-voltage to bit-error-rate model (DNN-Engine calibration).
+
+The paper's Fig. 6 plots the accelerator's timing-error BER against supply
+voltage: roughly 1e-12 at 0.82 V rising to 1e-8 at 0.77 V — four decades
+over 50 mV, the classic exponential onset of timing violations under
+voltage scaling.  We model
+
+    log10(BER(V)) = log10(BER(V_ref)) - slope * (V - V_ref)
+
+calibrated to those two plotted points, clamped to a floor (error-free
+margin above ~0.85 V) and a ceiling (functional collapse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VoltageBerModel", "DNN_ENGINE_VBER"]
+
+
+@dataclass(frozen=True)
+class VoltageBerModel:
+    """Exponential voltage-to-BER curve.
+
+    Attributes
+    ----------
+    v_ref:
+        Reference voltage (volts).
+    ber_ref:
+        BER at the reference voltage.
+    decades_per_volt:
+        Slope of ``log10(BER)`` versus voltage (negative direction: lower
+        voltage, higher BER).
+    ber_floor, ber_ceil:
+        Clamps for the error-free and collapse regimes.
+    v_min, v_max:
+        Electrical operating range of the accelerator.
+    """
+
+    v_ref: float = 0.77
+    ber_ref: float = 1e-8
+    decades_per_volt: float = 80.0
+    ber_floor: float = 1e-15
+    ber_ceil: float = 1e-2
+    v_min: float = 0.70
+    v_max: float = 0.90
+
+    def ber(self, voltage: float) -> float:
+        """BER at ``voltage`` (clamped to the model's floor/ceiling)."""
+        if not self.v_min - 1e-9 <= voltage <= self.v_max + 1e-9:
+            raise ConfigurationError(
+                f"voltage {voltage:.3f} V outside operating range "
+                f"[{self.v_min}, {self.v_max}] V"
+            )
+        log_ber = np.log10(self.ber_ref) - self.decades_per_volt * (voltage - self.v_ref)
+        return float(np.clip(10.0**log_ber, self.ber_floor, self.ber_ceil))
+
+    def voltage_for_ber(self, ber: float) -> float:
+        """Lowest in-range voltage whose BER does not exceed ``ber``."""
+        if ber <= 0:
+            return self.v_max
+        log_target = np.log10(ber)
+        voltage = self.v_ref - (log_target - np.log10(self.ber_ref)) / self.decades_per_volt
+        return float(np.clip(voltage, self.v_min, self.v_max))
+
+    def sweep(self, points: int = 27) -> list[tuple[float, float]]:
+        """(voltage, BER) samples across the operating range."""
+        voltages = np.linspace(self.v_min, self.v_max, points)
+        return [(float(v), self.ber(float(v))) for v in voltages]
+
+
+#: Calibrated to the paper's Fig. 6 plotted curve.
+DNN_ENGINE_VBER = VoltageBerModel()

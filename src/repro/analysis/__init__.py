@@ -1,0 +1,16 @@
+"""Vulnerability and sensitivity analyses built on the fault-injection platform."""
+
+from repro.analysis.vulnerability import (
+    LayerVulnerability,
+    VulnerabilityReport,
+    layer_vulnerability,
+)
+from repro.analysis.optype import OpTypeSensitivity, operation_type_sensitivity
+
+__all__ = [
+    "LayerVulnerability",
+    "VulnerabilityReport",
+    "layer_vulnerability",
+    "OpTypeSensitivity",
+    "operation_type_sensitivity",
+]

@@ -1,0 +1,10 @@
+"""Synthetic dataset generation (offline stand-ins for the paper's datasets)."""
+
+from repro.datasets.synthetic import (
+    DATASET_PRESETS,
+    DatasetSpec,
+    SyntheticDataset,
+    make_dataset,
+)
+
+__all__ = ["DATASET_PRESETS", "DatasetSpec", "SyntheticDataset", "make_dataset"]

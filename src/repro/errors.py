@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class QuantizationError(ReproError):
+    """A fixed-point format or quantization request is invalid."""
+
+
+class TransformError(ReproError):
+    """A Winograd transform could not be constructed or applied."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class FaultModelError(ReproError):
+    """A fault-injection configuration or site reference is invalid."""
+
+
+class MappingError(ReproError):
+    """A layer could not be mapped onto the accelerator model."""
+
+
+class TrainingError(ReproError):
+    """Model training failed to make progress or received bad inputs."""

@@ -1,0 +1,25 @@
+"""Experiment drivers: one module per paper figure, plus shared plumbing."""
+
+from repro.experiments.common import (
+    FULL,
+    QUICK,
+    ExperimentProfile,
+    PreparedBenchmark,
+    accuracy_curve,
+    pick_cliff_ber,
+    prepare_benchmark,
+    quantized_pair,
+    results_dir,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "QUICK",
+    "FULL",
+    "PreparedBenchmark",
+    "prepare_benchmark",
+    "quantized_pair",
+    "accuracy_curve",
+    "pick_cliff_ber",
+    "results_dir",
+]

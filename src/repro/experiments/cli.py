@@ -1,0 +1,70 @@
+"""Command-line entry point: ``python -m repro.experiments.cli <figure>``.
+
+Examples
+--------
+Run a single figure with the quick profile::
+
+    python -m repro.experiments.cli fig2
+
+Run everything at full fidelity::
+
+    python -m repro.experiments.cli all --profile full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7
+from repro.experiments.common import FULL, QUICK
+
+_FIGURES = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested experiments, print reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures as text reports + JSON.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=sorted(_FIGURES) + ["all", "headline"],
+        help="figure id(s) to regenerate, or 'headline' for the summary",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="evaluation budget (default: quick)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = FULL if args.profile == "full" else QUICK
+    targets = sorted(_FIGURES) if "all" in args.figures else args.figures
+    for name in targets:
+        if name == "headline":
+            from repro.experiments.headline import collect_headlines, format_headlines
+
+            print(format_headlines(collect_headlines()))
+            print()
+            continue
+        module = _FIGURES[name]
+        payload = module.run(profile=profile)
+        print(module.format_report(payload))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

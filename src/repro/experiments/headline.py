@@ -1,0 +1,61 @@
+"""Aggregate the paper's four headline numbers from figure artifacts.
+
+The abstract claims: Winograd awareness reduces fault-tolerant design
+(TMR) overhead by **61.21 %** vs standard convolution and **27.49 %** vs
+unaware Winograd, and energy by **42.89 %** / **7.19 %** under voltage
+scaling.  This module reads the Fig. 5 and Fig. 7 artifacts produced by the
+experiment drivers and renders the side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.common import results_dir
+from repro.utils.serialization import load_json
+
+__all__ = ["collect_headlines", "format_headlines"]
+
+#: (metric, artifact file, reference values from the paper's abstract).
+_HEADLINES = (
+    ("TMR overhead reduction", "fig5.json", {"vs ST-Conv": 0.6121, "vs WG-Conv-W/O-AFT": 0.2749}),
+    ("energy reduction", "fig7.json", {"vs ST-Conv": 0.4289, "vs WG-Conv-W/O-AFT": 0.0719}),
+)
+
+
+def collect_headlines(base: Path | None = None) -> list[dict]:
+    """Read available figure artifacts and pair measured vs paper numbers.
+
+    Missing artifacts are reported as absent rather than raising, so the
+    summary degrades gracefully while experiments are still being run.
+    """
+    base = base or results_dir()
+    rows = []
+    for metric, filename, reference in _HEADLINES:
+        path = base / filename
+        entry = {"metric": metric, "paper": reference, "measured": None, "source": str(path)}
+        if path.exists():
+            payload = load_json(path)
+            entry["measured"] = payload.get("average_reduction")
+        rows.append(entry)
+    return rows
+
+
+def format_headlines(rows: list[dict]) -> str:
+    """Render the headline comparison as a text table."""
+    lines = [
+        "Headline numbers — WG-Conv-W/AFT improvement over the two references",
+        f"{'metric':>26} {'reference':>18} {'paper':>8} {'measured':>9}",
+    ]
+    for row in rows:
+        for reference, paper_value in row["paper"].items():
+            measured = row["measured"].get(reference) if row["measured"] else None
+            measured_text = f"{measured:8.2%}" if measured is not None else "   (run)"
+            lines.append(
+                f"{row['metric']:>26} {reference:>18} {paper_value:>8.2%} {measured_text:>9}"
+            )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_headlines(collect_headlines()))

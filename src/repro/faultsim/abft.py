@@ -1,0 +1,175 @@
+"""Algorithm-based fault tolerance (ABFT) checksum detection baseline.
+
+The paper positions Winograd's inherent tolerance against conventional
+protection schemes; its related work covers checksum-based ABFT for
+convolutions (Kosaian & Rashmi, 2021) and Sanity-Check's spatial checksums
+(Ozen & Orailoglu, 2019).  This module implements the classic
+output-channel checksum for the quantized GEMM/convolution layers, giving
+the library a detection-coverage baseline to compare protection approaches
+against:
+
+For a convolution ``y[k] = sum_{c,r,s} w[k,c,r,s] * x[c,r,s] + b[k]`` the
+channel-summed filter ``w_sum = sum_k w[k]`` satisfies, for every output
+position, ``sum_k y[k] = conv(x, w_sum) + sum_k b[k]`` *exactly* in integer
+arithmetic.  Any operation-level fault that perturbs one output's
+accumulator breaks the identity at that position, so comparing the two
+sides detects (and spatially locates) faults with one extra output
+channel's worth of compute.
+
+Limitations mirror real ABFT: faults that cancel within a checksum group
+escape detection, and the checksum computation itself is assumed protected
+(it would otherwise need its own redundancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.quantized.interface import Injector
+from repro.quantized.qmodel import QuantizedModel
+from repro.quantized.qops import QConvDirect, QConvWinograd, QLinear
+from repro.utils.im2col import im2col
+
+__all__ = ["AbftReport", "AbftChecker"]
+
+
+@dataclass
+class AbftReport:
+    """Detection outcome for one checked inference batch."""
+
+    #: Per-layer count of output positions whose checksum mismatched.
+    detections: dict[str, int]
+    #: Per-layer count of checked output positions.
+    checked: dict[str, int]
+
+    @property
+    def total_detections(self) -> int:
+        """Output positions flagged across all layers."""
+        return sum(self.detections.values())
+
+    @property
+    def any_fault_detected(self) -> bool:
+        """True when at least one checksum mismatched."""
+        return self.total_detections > 0
+
+    def detection_rate(self, layer: str) -> float:
+        """Fraction of a layer's checked positions that flagged."""
+        checked = self.checked.get(layer, 0)
+        return self.detections.get(layer, 0) / checked if checked else 0.0
+
+
+class AbftChecker(Injector):
+    """Checksum-verifying injector wrapper.
+
+    Wraps an inner injector (or none, for false-positive testing): after the
+    inner injector perturbs a layer's accumulator, the checker recomputes
+    the channel checksum from the (uncorrupted) inputs and compares.  Usage::
+
+        checker = AbftChecker(OperationLevelInjector(ber, seed=0))
+        qmodel.forward(x, injector=checker)
+        report = checker.report()
+    """
+
+    def __init__(self, inner: Injector | None = None):
+        self.inner = inner
+        self._detections: dict[str, int] = {}
+        self._checked: dict[str, int] = {}
+
+    # --- bookkeeping -----------------------------------------------------------
+    def report(self) -> AbftReport:
+        """Detection summary accumulated since construction."""
+        return AbftReport(dict(self._detections), dict(self._checked))
+
+    def _record(self, layer_name: str, mismatches: int, checked: int) -> None:
+        self._detections[layer_name] = self._detections.get(layer_name, 0) + mismatches
+        self._checked[layer_name] = self._checked.get(layer_name, 0) + checked
+
+    # --- injector protocol ------------------------------------------------------
+    def begin_inference(self, batch_size: int) -> None:
+        if self.inner is not None:
+            self.inner.begin_inference(batch_size)
+
+    def visit_direct(self, layer, x_int, cols, acc):
+        clean_checksum = self._conv_checksum(layer, cols, acc.shape)
+        if self.inner is not None:
+            self.inner.visit_direct(layer, x_int, cols, acc)
+        self._verify(layer, acc.sum(axis=1), clean_checksum)
+
+    def visit_linear(self, layer, x_int, acc):
+        w_sum = layer.weight_int.sum(axis=0).astype(np.float64)
+        checksum = np.rint(x_int.astype(np.float64) @ w_sum).astype(np.int64)
+        checksum += int(layer.bias_acc.sum())
+        if self.inner is not None:
+            self.inner.visit_linear(layer, x_int, acc)
+        self._verify(layer, acc.sum(axis=1), checksum.reshape(acc.shape[0]))
+
+    def visit_winograd(self, layer, sub_contexts, y_scaled):
+        # Checksum in the scaled output domain: sum the transformed filters
+        # over output channels and rerun the (cheap) single-channel pipeline.
+        checksum = None
+        for spec, ctx in sub_contexts:
+            v_sum = ctx.v_int.sum(axis=0, keepdims=True)  # (1, C, t, t)
+            part = self._winograd_checksum(ctx, v_sum)
+            checksum = part if checksum is None else checksum + part
+        h, w = y_scaled.shape[2], y_scaled.shape[3]
+        checksum = checksum[:, 0, :h, :w]
+        checksum += int(layer.bias_acc.sum()) * layer.transform.output_scale_2d
+        if self.inner is not None:
+            self.inner.visit_winograd(layer, sub_contexts, y_scaled)
+        self._verify(layer, y_scaled.sum(axis=1), checksum)
+
+    def visit_output(self, layer, y_int):
+        if self.inner is not None:
+            return self.inner.visit_output(layer, y_int)
+        return y_int
+
+    # --- checksum kernels --------------------------------------------------------
+    @staticmethod
+    def _conv_checksum(layer: QConvDirect, cols: np.ndarray, acc_shape) -> np.ndarray:
+        w_sum = layer.weight_int.reshape(layer.weight_int.shape[0], -1).sum(axis=0)
+        checksum = np.rint(
+            np.einsum("r,nrp->np", w_sum.astype(np.float64), cols.astype(np.float64))
+        ).astype(np.int64)
+        checksum += int(layer.bias_acc.sum())
+        n = acc_shape[0]
+        return checksum.reshape(n, acc_shape[2], acc_shape[3])
+
+    @staticmethod
+    def _winograd_checksum(ctx, v_sum: np.ndarray) -> np.ndarray:
+        """Single-channel Winograd pipeline on the channel-summed filters."""
+        from repro.winograd.conv2d import _channel_reduce
+        from repro.winograd.tiling import assemble_tiles
+
+        tf = ctx.transform
+        m_arr = _channel_reduce(ctx.u_int, v_sum.astype(np.int64))
+        at = tf.at_int
+        y_tiles = np.einsum("ui,nktij,vj->nktuv", at, m_arr, at)
+        return assemble_tiles(y_tiles, ctx.grid)
+
+    def _verify(self, layer, actual: np.ndarray, expected: np.ndarray) -> None:
+        if actual.shape != expected.shape:
+            raise FaultModelError(
+                f"ABFT shape mismatch on '{layer.name}': "
+                f"{actual.shape} vs {expected.shape}"
+            )
+        mismatches = int(np.count_nonzero(actual != expected))
+        self._record(layer.name, mismatches, actual.size)
+
+
+def detection_coverage(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    inner_injector: Injector,
+) -> AbftReport:
+    """Run one checked inference and return the detection report.
+
+    Note: Winograd layers must retain intermediates (they do whenever an
+    injector is attached), so coverage measurement has the same memory
+    profile as fault injection itself.
+    """
+    checker = AbftChecker(inner_injector)
+    qmodel.forward(x, injector=checker)
+    return checker.report()

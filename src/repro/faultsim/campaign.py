@@ -1,0 +1,130 @@
+"""Monte-Carlo fault-injection campaigns.
+
+A campaign evaluates a quantized model's accuracy under fault injection for
+one or more bit error rates, averaging over independent seeds.  Results
+carry both the raw BER and the expected-faults-per-inference (lambda),
+which is the axis that transfers across model scales (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faultsim.model import FaultModelConfig
+from repro.faultsim.neuron_level import NeuronLevelInjector
+from repro.faultsim.operation_level import OperationLevelInjector
+from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.sites import expected_faults_per_image
+from repro.quantized.qmodel import QuantizedModel
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_point", "run_sweep"]
+
+INJECTOR_OPERATION = "operation"
+INJECTOR_NEURON = "neuron"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Evaluation parameters shared by all points of a campaign."""
+
+    seeds: tuple[int, ...] = (0, 1, 2)
+    batch_size: int = 64
+    injector: str = INJECTOR_OPERATION
+    fault_config: FaultModelConfig = field(default_factory=FaultModelConfig)
+    #: Optional limit on evaluation samples (None = use all provided).
+    max_samples: int | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Accuracy statistics for one (model, BER) operating point."""
+
+    ber: float
+    lam: float
+    mean_accuracy: float
+    std_accuracy: float
+    per_seed: list[float]
+    events_per_seed: list[int]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "ber": self.ber,
+            "lambda": self.lam,
+            "mean_accuracy": self.mean_accuracy,
+            "std_accuracy": self.std_accuracy,
+            "per_seed": self.per_seed,
+            "events_per_seed": self.events_per_seed,
+        }
+
+
+def _make_injector(config: CampaignConfig, ber: float, seed: int, protection):
+    if config.injector == INJECTOR_NEURON:
+        return NeuronLevelInjector(ber, seed=seed, config=config.fault_config)
+    if config.injector == INJECTOR_OPERATION:
+        return OperationLevelInjector(
+            ber, seed=seed, config=config.fault_config, protection=protection
+        )
+    raise ValueError(f"unknown injector kind '{config.injector}'")
+
+
+def run_point(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    config: CampaignConfig | None = None,
+    protection: ProtectionPlan | None = None,
+) -> CampaignResult:
+    """Evaluate accuracy at one BER, averaged over the configured seeds."""
+    config = config or CampaignConfig()
+    if config.max_samples is not None:
+        x, labels = x[: config.max_samples], labels[: config.max_samples]
+
+    accuracies, events = [], []
+    for seed in config.seeds:
+        if ber == 0.0:
+            accuracy = qmodel.evaluate(x, labels, batch_size=config.batch_size)
+            accuracies.append(accuracy)
+            events.append(0)
+            continue
+        injector = _make_injector(config, ber, seed, protection)
+        accuracy = qmodel.evaluate(
+            x, labels, injector=injector, batch_size=config.batch_size
+        )
+        accuracies.append(accuracy)
+        events.append(int(sum(injector.event_counts.values())))
+
+    lam = (
+        expected_faults_per_image(qmodel, ber, config.fault_config, protection)
+        if config.injector == INJECTOR_OPERATION
+        else ber * sum(
+            np.prod(layer.out_shape) * layer.out_fmt.width
+            for layer in qmodel.injectable_layers()
+        )
+    )
+    return CampaignResult(
+        ber=ber,
+        lam=float(lam),
+        mean_accuracy=float(np.mean(accuracies)),
+        std_accuracy=float(np.std(accuracies)),
+        per_seed=[float(a) for a in accuracies],
+        events_per_seed=events,
+    )
+
+
+def run_sweep(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    bers: list[float],
+    config: CampaignConfig | None = None,
+    protection: ProtectionPlan | None = None,
+) -> list[CampaignResult]:
+    """Evaluate a list of BER points (Fig. 2-style accuracy curves)."""
+    return [
+        run_point(qmodel, x, labels, ber, config=config, protection=protection)
+        for ber in bers
+    ]

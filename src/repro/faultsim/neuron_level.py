@@ -1,0 +1,59 @@
+"""Neuron-level fault injector (TensorFI / PyTorchFI-style baseline).
+
+Flips bits of *stored activation values* (layer outputs) rather than of
+operation results.  Because standard and Winograd convolution compute
+identical activations, this injector cannot distinguish the two execution
+modes — the point the paper makes with Fig. 1, and the reason it builds the
+operation-level platform.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.fixedpoint.bits import flip_bit
+from repro.faultsim.model import BerConvention, FaultModelConfig
+from repro.quantized.interface import Injector
+from repro.utils.rng import as_rng
+
+__all__ = ["NeuronLevelInjector"]
+
+
+class NeuronLevelInjector(Injector):
+    """Flips bits in the quantized outputs of conv and linear layers.
+
+    ``lambda = ber * n_neurons * width`` under the per-bit convention
+    (``ber * n_neurons`` per-op), mirroring how neuron-level platforms
+    parameterize their injections.
+    """
+
+    def __init__(
+        self,
+        ber: float,
+        seed: int | np.random.Generator = 0,
+        config: FaultModelConfig | None = None,
+    ):
+        if ber < 0:
+            raise ValueError(f"ber must be non-negative, got {ber}")
+        self.ber = float(ber)
+        self.rng = as_rng(seed)
+        self.config = config or FaultModelConfig()
+        self.event_counts: dict[str, int] = defaultdict(int)
+
+    def visit_output(self, layer, y_int: np.ndarray) -> np.ndarray:
+        width = layer.out_fmt.width
+        exposure = 1 if self.config.convention is BerConvention.PER_OP else width
+        lam = self.ber * y_int.size * exposure
+        count = int(self.rng.poisson(lam))
+        if count == 0:
+            return y_int
+        count = min(count, self.config.max_events_per_category)
+        self.event_counts["neuron"] += count
+
+        flat = y_int.reshape(-1)
+        idx = self.rng.integers(0, flat.size, size=count)
+        bits = self.rng.integers(0, width, size=count)
+        flat[idx] = flip_bit(flat[idx], bits, width)
+        return y_int

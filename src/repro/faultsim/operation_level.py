@@ -1,0 +1,484 @@
+"""Operation-level fault injector.
+
+Implements the paper's core contribution: random soft errors injected into
+the primitive operations (multiplications and additions) of convolution and
+fully-connected layers, with *exact* propagation of every fault's effect to
+the layer output accumulator.
+
+Propagation identities (all linear, hence exact):
+
+* direct conv / linear — a perturbed product or partial sum shifts the
+  output accumulator by the perturbation delta;
+* Winograd element-wise product / channel-reduction add at tile position
+  ``(i, j)`` — the output tile shifts by ``delta * outer(AT[:, i], AT[:, j])``;
+* Winograd input-transform add on channel ``c`` — the perturbation enters
+  ``U`` before the Hadamard product, so it is *amplified by the transformed
+  weights* and fans out to every output channel ``k``:
+  ``dY_k = AT (dU ⊙ V[k, c]) AT^T``;
+* Winograd output-transform add — a row (pass 1) or single-element (pass 2)
+  update of the output tile.
+
+Registers are modeled as described in :mod:`repro.faultsim.model`:
+multiplier result registers are ``2 * width`` bits (the full product, at the
+native product LSB) — the structural reason multiplication faults dominate;
+sum registers are sized to their stage's dynamic range, capped at
+``width + acc_guard`` bits.  Under the default (paper) semantics,
+input-transform addition faults perturb the additive chain locally — the
+fully physical weight-amplified fan-out propagation is available as the
+``amplify_input_transform_adds`` ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.fixedpoint.bits import flip_delta  # noqa: F401  (re-exported via register_flip_delta)
+from repro.faultsim.model import BerConvention, FaultModelConfig, FaultSemantics
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.interface import Injector
+from repro.utils.rng import as_rng
+
+__all__ = ["OperationLevelInjector", "register_scale_pow", "register_flip_delta"]
+
+
+def _stage_register_width(max_abs: int, acc_width: int) -> int:
+    """Register width of an addition stage holding values up to ``max_abs``.
+
+    Hardware sizes each sum register to its stage's dynamic range, capped at
+    the accumulator width: ``min(acc_width, bit_length(max_abs) + 1)``.
+    Without the cap, guard bits far above a narrow stage's actual span would
+    let bit flips inject deltas orders of magnitude beyond any physical
+    signal of that stage.
+    """
+    if max_abs <= 0:
+        return 2
+    return max(2, min(acc_width, int(max_abs).bit_length() + 1))
+
+
+def register_scale_pow(max_abs: int, width: int) -> int:
+    """LSB exponent of a ``width``-bit register sized to hold ``max_abs``.
+
+    Returns the smallest ``s >= 0`` such that every value with
+    ``|v| <= max_abs`` fits a ``width``-bit two's-complement register whose
+    LSB weighs ``2**s``.
+    """
+    if max_abs <= 0:
+        return 0
+    span_bits = int(max_abs).bit_length() + 1  # + sign bit
+    return max(0, span_bits - width)
+
+
+def register_flip_delta(
+    values: np.ndarray, bits: np.ndarray, width: int, scale_pow: int
+) -> np.ndarray:
+    """Delta caused by flipping register bit ``bits`` of ``values``.
+
+    The register holds ``values >> scale_pow``; the returned delta is in the
+    native integer domain (scaled back up by ``2**scale_pow``).
+    """
+    held = np.asarray(values, dtype=np.int64) >> np.int64(scale_pow)
+    return flip_delta(held, bits, width) << np.int64(scale_pow)
+
+
+class OperationLevelInjector(Injector):
+    """Injects operation-level faults during quantized inference.
+
+    Parameters
+    ----------
+    ber:
+        Bit error rate (interpretation set by ``config.convention``).
+    seed:
+        RNG seed or generator; a single injector instance is deterministic
+        given its seed and the visit sequence.
+    config:
+        Fault-model parameters.
+    protection:
+        Optional :class:`ProtectionPlan`; protected fractions thin the
+        event rate of their (layer, category).
+    """
+
+    def __init__(
+        self,
+        ber: float,
+        seed: int | np.random.Generator = 0,
+        config: FaultModelConfig | None = None,
+        protection: ProtectionPlan | None = None,
+    ):
+        if ber < 0:
+            raise ValueError(f"ber must be non-negative, got {ber}")
+        self.ber = float(ber)
+        self.rng = as_rng(seed)
+        self.config = config or FaultModelConfig()
+        self.protection = protection
+        #: Events actually injected, keyed by category (diagnostics).
+        self.event_counts: dict[str, int] = defaultdict(int)
+        #: True when the per-category event cap ever bound.
+        self.capped = False
+
+    # ------------------------------------------------------------------ sampling
+    def _num_events(self, layer_name: str, category: str, n_ops: int, bits: int) -> int:
+        """Draw the Poisson event count for a category, with thinning and cap."""
+        if self.ber == 0.0 or n_ops <= 0:
+            return 0
+        rho = (
+            self.protection.fraction(layer_name, category)
+            if self.protection is not None
+            else 0.0
+        )
+        if rho >= 1.0:
+            return 0
+        exposure = 1 if self.config.convention is BerConvention.PER_OP else bits
+        lam = self.ber * float(n_ops) * exposure * (1.0 - rho)
+        count = int(self.rng.poisson(lam))
+        if count > self.config.max_events_per_category:
+            count = self.config.max_events_per_category
+            self.capped = True
+        if count:
+            self.event_counts[category] += count
+        return count
+
+    def _mul_exposure_bits(self, layer) -> int:
+        return self.config.exposure_bits(True, layer.in_fmt.width, layer.acc_width)
+
+    def _add_exposure_bits(self, layer) -> int:
+        return self.config.exposure_bits(False, layer.in_fmt.width, layer.acc_width)
+
+    def _mul_register_width(self, layer) -> int:
+        """Product-result register width: 2W (full product) under PAPER
+        semantics, the sum-register width under RESULT_ALL (ablation)."""
+        if self.config.semantics is FaultSemantics.PAPER:
+            return 2 * layer.in_fmt.width
+        return layer.acc_width
+
+    # ------------------------------------------------------------- direct conv
+    def visit_direct(self, layer, x_int, cols, acc):
+        n = acc.shape[0]
+        k_out = acc.shape[1]
+        spatial = acc.shape[2] * acc.shape[3] if acc.ndim == 4 else 1
+        weight2d = layer.weight_int.reshape(k_out, -1)
+        reduction = weight2d.shape[1]
+        acc_flat = acc.reshape(n, k_out * spatial)
+
+        self._inject_gemm_muls(
+            layer, "st_mul", cols, weight2d, acc_flat, n, k_out, spatial, reduction
+        )
+        self._inject_result_adds(layer, "st_add", layer.op_counts.st_add * n, acc_flat)
+
+    def visit_linear(self, layer, x_int, acc):
+        n, k_out = acc.shape
+        cols = x_int[:, :, None]  # (N, F_in, 1) -> GEMM layout with spatial=1
+        weight2d = layer.weight_int
+        acc_flat = acc.reshape(n, k_out)
+        self._inject_gemm_muls(
+            layer, "st_mul", cols, weight2d, acc_flat, n, k_out, 1, weight2d.shape[1]
+        )
+        self._inject_result_adds(layer, "st_add", layer.op_counts.st_add * n, acc_flat)
+
+    def _inject_gemm_muls(
+        self, layer, category, cols, weight2d, acc_flat, n, k_out, spatial, reduction
+    ):
+        """Multiplication faults in a GEMM: product-result register flips."""
+        n_ops = n * k_out * spatial * reduction
+        count = self._num_events(layer.name, category, n_ops, self._mul_exposure_bits(layer))
+        if count == 0:
+            return
+        rng = self.rng
+        img = rng.integers(0, n, size=count)
+        out_idx = rng.integers(0, k_out * spatial, size=count)
+        red = rng.integers(0, reduction, size=count)
+        pq = out_idx % spatial
+        kk = out_idx // spatial
+
+        x_vals = cols[img, red, pq]
+        w_vals = weight2d[kk, red]
+        products = x_vals * w_vals
+        width = self._mul_register_width(layer)
+        bits = rng.integers(0, width, size=count)
+        deltas = register_flip_delta(products, bits, width, 0)
+        np.add.at(acc_flat, (img, out_idx), deltas)
+
+    def _inject_result_adds(self, layer, category, n_ops, acc_flat):
+        """Addition faults: flips of sum registers, applied to final outputs."""
+        count = self._num_events(layer.name, category, n_ops, self._add_exposure_bits(layer))
+        if count == 0:
+            return
+        rng = self.rng
+        n, flat = acc_flat.shape
+        img = rng.integers(0, n, size=count)
+        idx = rng.integers(0, flat, size=count)
+        width = _stage_register_width(
+            int(np.abs(acc_flat).max(initial=1)), layer.acc_width
+        )
+        bits = rng.integers(0, width, size=count)
+        # Sign from the final accumulator value's bit: exact for the last
+        # addition of the chain, an unbiased approximation for earlier ones.
+        deltas = register_flip_delta(acc_flat[img, idx], bits, width, 0)
+        np.add.at(acc_flat, (img, idx), deltas)
+
+    # ------------------------------------------------------------- winograd conv
+    def visit_winograd(self, layer, sub_contexts, y_scaled):
+        n, k_out, out_h, out_w = y_scaled.shape
+        tf = layer.transform
+        at = tf.at_int.astype(np.int64)  # (m, t)
+        bt = tf.bt_int.astype(np.int64)  # (t, t)
+        m = tf.m
+
+        for spec, ctx in sub_contexts:
+            u, v, m_arr = ctx.u_int, ctx.v_int, ctx.m_int
+            grid = ctx.grid
+            tiles = grid.num_tiles
+            c_in = u.shape[1]
+            t = tf.t
+            y_max = int(np.abs(y_scaled).max(initial=1))
+
+            pad = _TilePadAccumulator(y_scaled, grid)
+
+            self._wg_muls_and_acc_adds(layer, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t)
+            self._wg_input_adds(layer, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m)
+            self._wg_output_adds(layer, tf, y_max, pad, n, k_out, tiles, t, m)
+            pad.flush()
+
+        # Sub-conv recombination + bias additions act on the final summed output.
+        n_extra = (len(sub_contexts) - 1 + 1) * k_out * out_h * out_w * n
+        self._inject_result_adds(
+            layer, "wg_output_add", n_extra, y_scaled.reshape(n, -1)
+        )
+
+    def _wg_muls_and_acc_adds(self, layer, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t):
+        acc_width = layer.acc_width
+        rng = self.rng
+
+        # --- element-wise multiplications ---------------------------------------
+        n_mul = n * k_out * c_in * tiles * t * t
+        count = self._num_events(layer.name, "wg_mul", n_mul, self._mul_exposure_bits(layer))
+        if count:
+            img = rng.integers(0, n, size=count)
+            kk = rng.integers(0, k_out, size=count)
+            cc = rng.integers(0, c_in, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            ii = rng.integers(0, t, size=count)
+            jj = rng.integers(0, t, size=count)
+            products = u[img, cc, tl, ii, jj] * v[kk, cc, ii, jj]
+            mul_width = self._mul_register_width(layer)
+            bits = rng.integers(0, mul_width, size=count)
+            deltas = register_flip_delta(products, bits, mul_width, 0)
+            pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
+
+        # --- channel-reduction additions -----------------------------------------
+        n_add = n * k_out * max(c_in - 1, 0) * tiles * t * t
+        count = self._num_events(layer.name, "wg_acc_add", n_add, self._add_exposure_bits(layer))
+        if count:
+            img = rng.integers(0, n, size=count)
+            kk = rng.integers(0, k_out, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            ii = rng.integers(0, t, size=count)
+            jj = rng.integers(0, t, size=count)
+            m_vals = m_arr[img, kk, tl, ii, jj]
+            m_width = _stage_register_width(
+                int(np.abs(m_arr).max(initial=1)), acc_width
+            )
+            bits = rng.integers(0, m_width, size=count)
+            deltas = register_flip_delta(m_vals, bits, m_width, 0)
+            pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
+
+    def _wg_input_adds(self, layer, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m):
+        """Input-transform addition faults.
+
+        Default model (paper semantics): the fault perturbs the additive
+        chain it belongs to — a transformed-domain partial result — and its
+        effect reaches one output channel's tile through the (constant)
+        output transform, exactly like a channel-reduction add.
+
+        With ``config.amplify_input_transform_adds`` the full physical
+        propagation applies instead: the corrupted ``U`` element multiplies
+        the transformed weights and fans out to *every* output channel of
+        the tile (ablation; see FaultModelConfig).
+        """
+        per_vector = int(np.maximum((bt != 0).sum(axis=1) - 1, 0).sum())
+        n_pass = n * c_in * tiles * per_vector * t  # per pass
+        acc_width = layer.acc_width
+        rng = self.rng
+        u_width = _stage_register_width(int(np.abs(u).max(initial=1)), acc_width)
+
+        if not self.config.amplify_input_transform_adds:
+            # Additive-chain locality (paper semantics): the perturbation is a
+            # transformed-domain sum-register flip whose effect reaches one
+            # output channel's tile through the constant output transform —
+            # same damage kernel as a channel-reduction add, with the
+            # input-transform site census.  Base values come from the M
+            # domain so the flip window matches the applied domain's units.
+            count = self._num_events(
+                layer.name, "wg_input_add", 2 * n_pass, self._add_exposure_bits(layer)
+            )
+            if count == 0:
+                return
+            img = rng.integers(0, n, size=count)
+            kk = rng.integers(0, k_out, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            ii = rng.integers(0, t, size=count)
+            jj = rng.integers(0, t, size=count)
+            m_width = _stage_register_width(
+                int(np.abs(m_arr).max(initial=1)), acc_width
+            )
+            bits = rng.integers(0, m_width, size=count)
+            base_vals = m_arr[img, kk, tl, ii, jj]
+            deltas = register_flip_delta(base_vals, bits, m_width, 0)
+            pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
+            return
+
+        for pass_idx in (1, 2):
+            count = self._num_events(
+                layer.name, "wg_input_add", n_pass, self._add_exposure_bits(layer)
+            )
+            if count == 0:
+                continue
+            img = rng.integers(0, n, size=count)
+            cc = rng.integers(0, c_in, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            uu = rng.integers(0, t, size=count)
+            vv = rng.integers(0, t, size=count)
+            bits = rng.integers(0, u_width, size=count)
+            base_vals = u[img, cc, tl, uu, vv]
+            deltas = register_flip_delta(base_vals, bits, u_width, 0)
+
+            for f in range(count):
+                delta = int(deltas[f])
+                if delta == 0:
+                    continue
+                if pass_idx == 2:
+                    # dU is a single element at (uu, vv).
+                    du = np.zeros((t, t), dtype=np.int64)
+                    du[uu[f], vv[f]] = delta
+                else:
+                    # dZ[u, v] = delta -> dU[u, j] = delta * B[v, j] = delta * bt[j, v].
+                    du = np.zeros((t, t), dtype=np.int64)
+                    du[uu[f], :] = delta * bt[:, vv[f]]
+                dm = du[None, :, :] * v[:, cc[f]]  # (K, t, t), amplified by weights
+                dy = np.einsum("ui,kij,vj->kuv", at, dm, at)
+                pad.add_tile_all_k(int(img[f]), int(tl[f]), dy)
+
+    def _wg_output_adds(self, layer, tf, y_max, pad, n, k_out, tiles, t, m):
+        """Output-transform faults: row (pass 1) or element (pass 2) updates."""
+        at = tf.at_int.astype(np.int64)
+        per_vector = int(np.maximum((at != 0).sum(axis=1) - 1, 0).sum())
+        width = _stage_register_width(y_max, layer.acc_width)
+        rng = self.rng
+
+        # Pass 1: P = AT M, shape (m, t): per tile per k, t applications.
+        count = self._num_events(
+            layer.name, "wg_output_add", n * k_out * tiles * per_vector * t,
+            self._add_exposure_bits(layer),
+        )
+        if count:
+            img = rng.integers(0, n, size=count)
+            kk = rng.integers(0, k_out, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            uu = rng.integers(0, m, size=count)
+            vv = rng.integers(0, t, size=count)
+            bits = rng.integers(0, width, size=count)
+            signs = rng.integers(0, 2, size=count).astype(np.int64) * 2 - 1
+            deltas = signs * (np.int64(1) << bits)
+            # dY[u, w] = delta * A[v, w] = delta * at[w, v]
+            rows = deltas[:, None] * at[:, vv].T  # (F, m)
+            pad.add_row(img, kk, tl, uu, rows)
+
+        # Pass 2: Y = P A, shape (m, m): per tile per k, m applications.
+        count = self._num_events(
+            layer.name, "wg_output_add", n * k_out * tiles * per_vector * m,
+            self._add_exposure_bits(layer),
+        )
+        if count:
+            img = rng.integers(0, n, size=count)
+            kk = rng.integers(0, k_out, size=count)
+            tl = rng.integers(0, tiles, size=count)
+            uu = rng.integers(0, m, size=count)
+            ww = rng.integers(0, m, size=count)
+            bits = rng.integers(0, width, size=count)
+            signs = rng.integers(0, 2, size=count).astype(np.int64) * 2 - 1
+            deltas = signs * (np.int64(1) << bits)
+            pad.add_element(img, kk, tl, uu, ww, deltas)
+
+
+class _TilePadAccumulator:
+    """Accumulates tile-space fault deltas, then adds them to the output.
+
+    Winograd fault effects live naturally in the padded tile grid (whose
+    spatial extent is a multiple of ``m``); accumulating there and cropping
+    once keeps every scatter fully vectorized.
+    """
+
+    def __init__(self, y_scaled: np.ndarray, grid):
+        self.y = y_scaled
+        self.grid = grid
+        self.m = grid.m
+        n, k = y_scaled.shape[0], y_scaled.shape[1]
+        self._buf = None
+        self._shape = (n, k, grid.tiles_h * grid.m, grid.tiles_w * grid.m)
+
+    def _ensure(self) -> np.ndarray:
+        if self._buf is None:
+            self._buf = np.zeros(self._shape, dtype=np.int64)
+        return self._buf
+
+    def _origins(self, tiles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        th, tw = np.divmod(tiles, self.grid.tiles_w)
+        return th * self.m, tw * self.m
+
+    def add_rank1(self, img, kk, tiles, deltas, a_cols_i, a_cols_j):
+        """``buf[img, kk, tile] += delta * outer(a_cols_i, a_cols_j)`` per fault.
+
+        ``a_cols_i``/``a_cols_j`` have shape ``(m, F)``.
+        """
+        buf = self._ensure()
+        m = self.m
+        updates = deltas[None, None, :] * a_cols_i[:, None, :] * a_cols_j[None, :, :]
+        oh, ow = self._origins(tiles)
+        n, k, hh, ww = buf.shape
+        flat = buf.reshape(-1)
+        base = (img * k + kk) * hh
+        uu, vv = np.meshgrid(np.arange(m), np.arange(m), indexing="ij")
+        idx = (
+            (base[None, None, :] + oh[None, None, :] + uu[:, :, None]) * ww
+            + ow[None, None, :]
+            + vv[:, :, None]
+        )
+        np.add.at(flat, idx.ravel(), updates.ravel())
+
+    def add_row(self, img, kk, tiles, row_u, rows):
+        """``buf[img, kk, tile][row_u, :] += rows`` per fault; rows: (F, m)."""
+        buf = self._ensure()
+        m = self.m
+        oh, ow = self._origins(tiles)
+        n, k, hh, ww = buf.shape
+        flat = buf.reshape(-1)
+        base = (img * k + kk) * hh
+        vv = np.arange(m)
+        idx = (base[:, None] + oh[:, None] + row_u[:, None]) * ww + ow[:, None] + vv[None, :]
+        np.add.at(flat, idx.ravel(), rows.ravel())
+
+    def add_element(self, img, kk, tiles, uu, ww_idx, deltas):
+        """``buf[img, kk, tile][uu, ww] += delta`` per fault."""
+        buf = self._ensure()
+        oh, ow = self._origins(tiles)
+        n, k, hh, ww = buf.shape
+        flat = buf.reshape(-1)
+        base = (img * k + kk) * hh
+        idx = (base + oh + uu) * ww + ow + ww_idx
+        np.add.at(flat, idx, deltas)
+
+    def add_tile_all_k(self, img: int, tile: int, dy: np.ndarray):
+        """Add a (K, m, m) update at one tile of one image (input-transform fan-out)."""
+        buf = self._ensure()
+        th, tw = divmod(tile, self.grid.tiles_w)
+        oh, ow = th * self.m, tw * self.m
+        buf[img, :, oh : oh + self.m, ow : ow + self.m] += dy
+
+    def flush(self):
+        """Crop the padded buffer into the real output accumulator."""
+        if self._buf is None:
+            return
+        h, w = self.y.shape[2], self.y.shape[3]
+        self.y += self._buf[:, :, :h, :w]
+        self._buf = None

@@ -1,0 +1,91 @@
+"""Protection plans: which fraction of which operations is fault-free.
+
+A protection plan abstracts every selective-hardening mechanism used in the
+paper:
+
+* Fig. 3 (layer-wise vulnerability): one layer fully protected at a time.
+* Fig. 4 (operation-type sensitivity): all multiplications (or all
+  additions) protected network-wide.
+* Fig. 5 (fine-grained TMR): per-layer *fractions* of multiplications and
+  additions protected, grown iteratively by the planner.
+
+Because the injector samples fault sites uniformly at random within a
+category, protecting a random fraction ``rho`` of the category is exactly
+Poisson thinning: the effective event rate becomes ``lambda * (1 - rho)``.
+This realizes the paper's "randomly chosen operations" TMR at zero
+bookkeeping cost and is what makes the approach implementable "efficiently
+on various computing engines".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultModelError
+from repro.winograd.opcount import ADD_CATEGORIES, ALL_CATEGORIES, MUL_CATEGORIES
+
+__all__ = ["ProtectionPlan"]
+
+
+@dataclass
+class ProtectionPlan:
+    """Per-(layer, category) protected fractions in ``[0, 1]``.
+
+    Unlisted pairs default to 0 (unprotected).  The plan is mutable — the
+    TMR planner grows it iteratively.
+    """
+
+    fractions: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    # --- construction helpers ------------------------------------------------
+    @staticmethod
+    def fault_free_layer(layer_name: str, layer_names: list[str]) -> "ProtectionPlan":
+        """Plan for Fig. 3: ``layer_name`` fully protected, rest untouched."""
+        if layer_name not in layer_names:
+            raise FaultModelError(f"unknown layer '{layer_name}'")
+        plan = ProtectionPlan()
+        for category in ALL_CATEGORIES:
+            plan.set(layer_name, category, 1.0)
+        return plan
+
+    @staticmethod
+    def fault_free_category(
+        categories: tuple[str, ...], layer_names: list[str]
+    ) -> "ProtectionPlan":
+        """Plan protecting the given categories in every layer (Fig. 4)."""
+        plan = ProtectionPlan()
+        for layer in layer_names:
+            for category in categories:
+                plan.set(layer, category, 1.0)
+        return plan
+
+    @staticmethod
+    def fault_free_muls(layer_names: list[str]) -> "ProtectionPlan":
+        """All multiplication sites protected network-wide."""
+        return ProtectionPlan.fault_free_category(MUL_CATEGORIES, layer_names)
+
+    @staticmethod
+    def fault_free_adds(layer_names: list[str]) -> "ProtectionPlan":
+        """All addition sites protected network-wide."""
+        return ProtectionPlan.fault_free_category(ADD_CATEGORIES, layer_names)
+
+    # --- access ---------------------------------------------------------------
+    def set(self, layer: str, category: str, fraction: float) -> None:
+        """Set the protected fraction of one (layer, category) pair."""
+        if category not in ALL_CATEGORIES:
+            raise FaultModelError(f"unknown op category '{category}'")
+        if not 0.0 <= fraction <= 1.0:
+            raise FaultModelError(f"fraction must be in [0, 1], got {fraction}")
+        self.fractions[(layer, category)] = fraction
+
+    def fraction(self, layer: str, category: str) -> float:
+        """Protected fraction for a (layer, category), default 0."""
+        return self.fractions.get((layer, category), 0.0)
+
+    def copy(self) -> "ProtectionPlan":
+        """Independent copy (the planner mutates candidates)."""
+        return ProtectionPlan(dict(self.fractions))
+
+    def cache_key(self) -> tuple:
+        """Hashable canonical form for memoized accuracy evaluations."""
+        return tuple(sorted((k, round(v, 6)) for k, v in self.fractions.items() if v))

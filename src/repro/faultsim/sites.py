@@ -1,0 +1,77 @@
+"""Fault-site census: how many bits of exposed state each layer carries.
+
+The expected number of fault events in a category is::
+
+    lambda = ber * n_ops * exposure_bits * (1 - protected_fraction)
+
+``n_ops`` comes from the layer's :class:`~repro.winograd.opcount.OpCounts`
+(exact, derived from geometry and transform structure) and
+``exposure_bits`` from the fault-model configuration.  The census also
+powers the "expected faults per inference" axis reported alongside raw BER
+in every experiment (the quantity that transfers between our width-scaled
+models and the paper's full-size ones — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.faultsim.model import FaultModelConfig
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.qmodel import QuantizedModel
+from repro.winograd.opcount import ALL_CATEGORIES, MUL_CATEGORIES
+
+__all__ = [
+    "category_exposure_bits",
+    "layer_exposure",
+    "model_exposure",
+    "expected_faults_per_image",
+]
+
+
+def category_exposure_bits(
+    category: str, config: FaultModelConfig, data_width: int, acc_width: int
+) -> int:
+    """Exposed bits per operation of ``category`` under ``config``."""
+    return config.exposure_bits(
+        is_mul=category in MUL_CATEGORIES,
+        data_width=data_width,
+        acc_width=acc_width,
+    )
+
+
+def layer_exposure(layer, config: FaultModelConfig) -> dict[str, int]:
+    """Per-category ``n_ops * exposure_bits`` for one layer (per image)."""
+    width = layer.in_fmt.width
+    acc_width = layer.acc_width
+    ops = layer.op_counts.by_category()
+    return {
+        category: ops[category]
+        * category_exposure_bits(category, config, width, acc_width)
+        for category in ALL_CATEGORIES
+        if ops[category]
+    }
+
+
+def model_exposure(
+    qmodel: QuantizedModel, config: FaultModelConfig
+) -> dict[str, dict[str, int]]:
+    """Per-layer, per-category exposed bits for the whole model (per image)."""
+    return {
+        layer.name: layer_exposure(layer, config)
+        for layer in qmodel.injectable_layers()
+    }
+
+
+def expected_faults_per_image(
+    qmodel: QuantizedModel,
+    ber: float,
+    config: FaultModelConfig | None = None,
+    protection: ProtectionPlan | None = None,
+) -> float:
+    """Expected fault events per inference at ``ber`` (the lambda axis)."""
+    config = config or FaultModelConfig()
+    total = 0.0
+    for layer_name, categories in model_exposure(qmodel, config).items():
+        for category, exposure in categories.items():
+            rho = protection.fraction(layer_name, category) if protection else 0.0
+            total += ber * exposure * (1.0 - rho)
+    return total

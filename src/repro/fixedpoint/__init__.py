@@ -1,0 +1,32 @@
+"""Fixed-point arithmetic substrate: formats, quantization, bit flips."""
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    dequantize,
+    quantize,
+    requantize,
+    rescale_round,
+    saturate,
+)
+from repro.fixedpoint.bits import (
+    flip_bit,
+    flip_delta,
+    from_twos_complement,
+    to_twos_complement,
+)
+from repro.fixedpoint.calibrate import MinMaxObserver, PercentileObserver
+
+__all__ = [
+    "QFormat",
+    "quantize",
+    "dequantize",
+    "saturate",
+    "requantize",
+    "rescale_round",
+    "flip_bit",
+    "flip_delta",
+    "to_twos_complement",
+    "from_twos_complement",
+    "MinMaxObserver",
+    "PercentileObserver",
+]

@@ -1,0 +1,80 @@
+"""Calibration observers for post-training quantization.
+
+Quantizing a float network requires choosing a :class:`QFormat` for every
+activation and weight tensor.  The observers here record value statistics
+during calibration forward passes and derive formats that cover the observed
+dynamic range (min-max) or a robust percentile of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = ["MinMaxObserver", "PercentileObserver"]
+
+
+@dataclass
+class MinMaxObserver:
+    """Track the maximum absolute value seen across ``observe`` calls."""
+
+    width: int
+    margin: float = 1.0
+    max_abs: float = field(default=0.0, init=False)
+    count: int = field(default=0, init=False)
+
+    def observe(self, x: np.ndarray) -> None:
+        """Fold a tensor's statistics into the running range."""
+        if x.size == 0:
+            return
+        self.max_abs = max(self.max_abs, float(np.max(np.abs(x))))
+        self.count += x.size
+
+    def qformat(self) -> QFormat:
+        """Derive the format covering ``margin * max_abs``."""
+        if self.count == 0:
+            raise QuantizationError("observer saw no data; run calibration first")
+        return QFormat.for_max_abs(self.width, self.max_abs * self.margin)
+
+
+@dataclass
+class PercentileObserver:
+    """Track a high percentile of |x| for outlier-robust range selection.
+
+    Keeps a bounded reservoir of absolute values; suitable for calibration
+    runs of a few thousand tensors.
+    """
+
+    width: int
+    percentile: float = 99.9
+    reservoir_size: int = 200_000
+    _samples: list[np.ndarray] = field(default_factory=list, init=False)
+    _stored: int = field(default=0, init=False)
+
+    def observe(self, x: np.ndarray) -> None:
+        """Fold a tensor's absolute values into the reservoir (subsampled)."""
+        if x.size == 0:
+            return
+        flat = np.abs(np.asarray(x, dtype=np.float64)).ravel()
+        budget = self.reservoir_size - self._stored
+        if budget <= 0:
+            return
+        if flat.size > budget:
+            idx = np.linspace(0, flat.size - 1, budget).astype(np.int64)
+            flat = flat[idx]
+        self._samples.append(flat)
+        self._stored += flat.size
+
+    def qformat(self) -> QFormat:
+        """Derive the format covering the configured percentile of |x|."""
+        if not self._samples:
+            raise QuantizationError("observer saw no data; run calibration first")
+        values = np.concatenate(self._samples)
+        max_abs = float(np.percentile(values, self.percentile))
+        if max_abs == 0.0:
+            max_abs = float(values.max())
+        return QFormat.for_max_abs(self.width, max_abs)

@@ -1,0 +1,106 @@
+"""Fixed-point format descriptors (Q-format).
+
+A :class:`QFormat` describes a signed two's-complement fixed-point number
+with ``width`` total bits of which ``frac`` are fractional, i.e. a stored
+integer ``q`` represents the real value ``q * 2**-frac``.  The paper
+quantizes every benchmark network to 8-bit and 16-bit fixed point; the fault
+injector flips bits of values held in these formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuantizationError
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed two's-complement fixed-point format ``Q(width-frac-1).frac``.
+
+    Parameters
+    ----------
+    width:
+        Total number of bits, including the sign bit.  Must be >= 2.
+    frac:
+        Number of fractional bits.  May be negative (coarser-than-integer
+        resolution) or exceed ``width`` (pure sub-unit range); both appear in
+        practice when formats are derived from tensor statistics.
+    """
+
+    width: int
+    frac: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise QuantizationError(
+                f"QFormat width must be >= 2 (one sign bit plus data), got {self.width}"
+            )
+        if self.width > 63:
+            raise QuantizationError(
+                f"QFormat width must fit an int64 including sign, got {self.width}"
+            )
+
+    # --- integer-domain limits ------------------------------------------------
+    @property
+    def qmin(self) -> int:
+        """Smallest representable stored integer."""
+        return -(1 << (self.width - 1))
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable stored integer."""
+        return (1 << (self.width - 1)) - 1
+
+    # --- real-domain properties -----------------------------------------------
+    @property
+    def scale(self) -> float:
+        """Real value of one LSB: ``2**-frac``."""
+        return 2.0 ** (-self.frac)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.qmin * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.qmax * self.scale
+
+    def with_width(self, width: int) -> "QFormat":
+        """Return a copy of this format with a different bit width."""
+        return QFormat(width=width, frac=self.frac)
+
+    def with_frac(self, frac: int) -> "QFormat":
+        """Return a copy of this format with a different fractional-bit count."""
+        return QFormat(width=self.width, frac=frac)
+
+    @staticmethod
+    def for_max_abs(width: int, max_abs: float) -> "QFormat":
+        """Choose the fractional-bit count that covers ``[-max_abs, max_abs]``.
+
+        Picks the largest ``frac`` such that ``max_abs <= qmax * 2**-frac``,
+        maximizing resolution subject to no saturation of the calibration
+        range.  ``max_abs == 0`` maps to an all-fractional format.
+        """
+        if max_abs < 0:
+            raise QuantizationError(f"max_abs must be non-negative, got {max_abs}")
+        if max_abs == 0.0:
+            return QFormat(width=width, frac=width - 1)
+        qmax = (1 << (width - 1)) - 1
+        # frac = floor(log2(qmax / max_abs)); do it robustly via frexp-style search.
+        import math
+
+        frac = math.floor(math.log2(qmax / max_abs))
+        # Guard against floating-point edge cases at the boundary.
+        while max_abs > qmax * 2.0 ** (-frac):
+            frac -= 1
+        while max_abs <= qmax * 2.0 ** (-(frac + 1)):
+            frac += 1
+        return QFormat(width=width, frac=frac)
+
+    def __str__(self) -> str:
+        return f"Q{self.width}.{self.frac}"

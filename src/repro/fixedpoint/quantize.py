@@ -1,0 +1,107 @@
+"""Quantize / dequantize / requantize primitives.
+
+All quantized tensors in this library are ``int64`` NumPy arrays holding
+two's-complement values of some :class:`~repro.fixedpoint.qformat.QFormat`.
+Using a single wide dtype keeps the arithmetic exact (the Winograd integer
+path relies on exactness) while the *format* tracks the nominal hardware
+width used for saturation and bit flipping.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = [
+    "quantize",
+    "dequantize",
+    "saturate",
+    "requantize",
+    "rescale_round",
+]
+
+
+def quantize(x: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Round a real-valued array into the stored-integer domain of ``fmt``.
+
+    Uses round-half-away-from-zero (the common DSP convention) and saturates
+    to the representable range.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = np.sign(x) * np.floor(np.abs(x) / fmt.scale + 0.5)
+    return np.clip(q, fmt.qmin, fmt.qmax).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Map stored integers back to real values (``q * 2**-frac``)."""
+    return np.asarray(q, dtype=np.float64) * fmt.scale
+
+
+def saturate(q: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Clamp stored integers into the representable range of ``fmt``."""
+    return np.clip(np.asarray(q, dtype=np.int64), fmt.qmin, fmt.qmax)
+
+
+def rescale_round(q: np.ndarray, ratio: Fraction) -> np.ndarray:
+    """Multiply stored integers by an exact rational ``ratio`` and round.
+
+    This is the requantization kernel: the ratio collects every scale factor
+    between two fixed-point domains (fractional-bit shifts and Winograd
+    transform scalings).  Rounding is half-away-from-zero, computed exactly
+    in integer arithmetic so results do not depend on float precision.
+    """
+    if ratio <= 0:
+        raise QuantizationError(f"rescale ratio must be positive, got {ratio}")
+    q = np.asarray(q, dtype=np.int64)
+    num, den = ratio.numerator, ratio.denominator
+
+    if q.size == 0:
+        return q.copy()
+    max_abs = int(np.max(np.abs(q)))
+    if max_abs * num + den // 2 < 2**62:
+        # Fast exact path entirely in int64.
+        scaled = q * np.int64(num)
+        abs_scaled = np.abs(scaled)
+        rounded = (abs_scaled + np.int64(den // 2)) // np.int64(den)
+        return np.where(scaled < 0, -rounded, rounded).astype(np.int64)
+
+    # Exact fallback through Python integers for extreme scales.
+    scaled = q.astype(object) * num
+    abs_scaled = np.abs(scaled)
+    rounded = (abs_scaled + den // 2) // den
+    out = np.where(scaled < 0, -rounded, rounded)
+    return out.astype(np.int64)
+
+
+def requantize(
+    acc: np.ndarray,
+    acc_frac: int,
+    out_fmt: QFormat,
+    extra_ratio: Fraction = Fraction(1),
+) -> np.ndarray:
+    """Convert accumulator integers to the output format, with saturation.
+
+    Parameters
+    ----------
+    acc:
+        Accumulator values (int64) with ``acc_frac`` fractional bits.
+    acc_frac:
+        Fractional bits of the accumulator domain (typically the sum of the
+        input and weight fractional bits).
+    out_fmt:
+        Target activation format.
+    extra_ratio:
+        Additional exact rational factor to fold in (used by the Winograd
+        path to divide out transform scalings).
+
+    Returns
+    -------
+    int64 array in the stored-integer domain of ``out_fmt``.
+    """
+    shift = out_fmt.frac - acc_frac
+    ratio = extra_ratio * (Fraction(2) ** shift)
+    return saturate(rescale_round(acc, ratio), out_fmt)

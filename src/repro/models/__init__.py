@@ -1,0 +1,23 @@
+"""Model zoo: width-scaled, topology-faithful paper benchmark networks."""
+
+from repro.models.densenet import build_densenet169
+from repro.models.googlenet import build_googlenet
+from repro.models.registry import (
+    BENCHMARKS,
+    Benchmark,
+    build_benchmark_model,
+    list_benchmarks,
+)
+from repro.models.resnet import build_resnet50
+from repro.models.vgg import build_vgg19
+
+__all__ = [
+    "build_vgg19",
+    "build_resnet50",
+    "build_densenet169",
+    "build_googlenet",
+    "Benchmark",
+    "BENCHMARKS",
+    "build_benchmark_model",
+    "list_benchmarks",
+]

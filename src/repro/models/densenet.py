@@ -1,0 +1,76 @@
+"""Growth-rate-scaled DenseNet-169 (Huang et al., 2017).
+
+Preserves the four dense blocks with the canonical [6, 12, 32, 32] layer
+counts (2 x 82 + 3 transitions + stem + classifier = the 169-layer
+configuration), bottleneck layers (BN-ReLU-1x1 -> BN-ReLU-3x3), dense
+concatenation and compression-0.5 transitions.  The pre-activation order
+means BatchNorm cannot be folded into a preceding convolution; the
+quantizer lowers those BNs to integer affine nodes instead, exercising that
+code path.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+__all__ = ["build_densenet169"]
+
+_BLOCK_LAYERS = (6, 12, 32, 32)
+_BOTTLENECK_MULT = 4
+_COMPRESSION = 0.5
+
+
+def _dense_layer(b: GraphBuilder, x: str, growth: int, tag: str) -> str:
+    """BN-ReLU-Conv1x1(4g) -> BN-ReLU-Conv3x3(g); returns the new features."""
+    y = b.batchnorm2d(x, name=f"{tag}_bn1")
+    y = b.relu(y, name=f"{tag}_relu1")
+    y = b.conv2d(y, growth * _BOTTLENECK_MULT, kernel=1, bias=False, name=f"{tag}_conv1")
+    y = b.batchnorm2d(y, name=f"{tag}_bn2")
+    y = b.relu(y, name=f"{tag}_relu2")
+    y = b.conv2d(y, growth, kernel=3, padding=1, bias=False, name=f"{tag}_conv2")
+    return y
+
+
+def _transition(b: GraphBuilder, x: str, out_channels: int, tag: str) -> str:
+    """BN-ReLU-Conv1x1(compress) -> AvgPool2."""
+    y = b.batchnorm2d(x, name=f"{tag}_bn")
+    y = b.relu(y, name=f"{tag}_relu")
+    y = b.conv2d(y, out_channels, kernel=1, bias=False, name=f"{tag}_conv")
+    return b.avgpool2d(y, kernel=2, stride=2, name=f"{tag}_pool")
+
+
+def build_densenet169(
+    classes: int,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    growth: int = 8,
+) -> Graph:
+    """Build the DenseNet-169 graph.
+
+    ``growth`` is the scaled growth rate (canonical value 32); stem width is
+    ``2 * growth`` as in the original.
+    """
+    b = GraphBuilder("densenet169", input_shape)
+    channels = 2 * growth
+    x = b.conv2d(b.input_node, channels, kernel=3, padding=1, bias=False, name="stem_conv")
+
+    for block_idx, layers in enumerate(_BLOCK_LAYERS):
+        features = [x]
+        for layer_idx in range(layers):
+            tag = f"d{block_idx + 1}l{layer_idx + 1}"
+            src = features[0] if len(features) == 1 else b.concat(
+                list(features), name=f"{tag}_concat"
+            )
+            new = _dense_layer(b, src, growth, tag)
+            features.append(new)
+            channels += growth
+        x = b.concat(list(features), name=f"block{block_idx + 1}_out")
+        if block_idx < len(_BLOCK_LAYERS) - 1:
+            channels = int(channels * _COMPRESSION)
+            x = _transition(b, x, channels, f"t{block_idx + 1}")
+
+    x = b.batchnorm2d(x, name="final_bn")
+    x = b.relu(x, name="final_relu")
+    x = b.globalavgpool(x)
+    x = b.flatten(x)
+    logits = b.linear(x, classes, name="fc")
+    return b.output(logits)

@@ -1,0 +1,78 @@
+"""Width-scaled GoogLeNet / Inception-v1 (Szegedy et al., 2015).
+
+Keeps all nine inception modules with their four parallel branches — the
+5x5 branch is retained (rather than the later 3x3-factorized form) because
+it exercises the DWM kernel decomposition in Winograd mode.  Auxiliary
+classifiers are omitted (they are a training aid, irrelevant to fault
+analysis).  Channel configurations are the originals scaled by
+``width_mult``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+__all__ = ["build_googlenet"]
+
+#: (#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj) per module.
+_INCEPTION_CFG = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _conv_bn_relu(
+    b: GraphBuilder, x: str, channels: int, kernel: int, padding: int, tag: str
+) -> str:
+    y = b.conv2d(x, channels, kernel=kernel, padding=padding, bias=False, name=f"{tag}_conv")
+    y = b.batchnorm2d(y, name=f"{tag}_bn")
+    return b.relu(y, name=f"{tag}_relu")
+
+
+def _inception(b: GraphBuilder, x: str, cfg: tuple, scale, tag: str) -> str:
+    c1, c3r, c3, c5r, c5, pp = (scale(v) for v in cfg)
+    branch1 = _conv_bn_relu(b, x, c1, 1, 0, f"{tag}_b1")
+    branch2 = _conv_bn_relu(b, x, c3r, 1, 0, f"{tag}_b2r")
+    branch2 = _conv_bn_relu(b, branch2, c3, 3, 1, f"{tag}_b2")
+    branch3 = _conv_bn_relu(b, x, c5r, 1, 0, f"{tag}_b3r")
+    branch3 = _conv_bn_relu(b, branch3, c5, 5, 2, f"{tag}_b3")
+    branch4 = b.maxpool2d(x, kernel=3, stride=1, padding=1, name=f"{tag}_pool")
+    branch4 = _conv_bn_relu(b, branch4, pp, 1, 0, f"{tag}_b4")
+    return b.concat([branch1, branch2, branch3, branch4], name=f"{tag}_out")
+
+
+def build_googlenet(
+    classes: int,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    width_mult: float = 0.125,
+) -> Graph:
+    """Build the GoogLeNet graph (CIFAR-style 3x3 stem for small inputs)."""
+
+    def scale(v: int) -> int:
+        return max(4, int(v * width_mult))
+
+    b = GraphBuilder("googlenet", input_shape)
+    x = _conv_bn_relu(b, b.input_node, scale(192), 3, 1, "stem")
+
+    x = _inception(b, x, _INCEPTION_CFG["3a"], scale, "i3a")
+    x = _inception(b, x, _INCEPTION_CFG["3b"], scale, "i3b")
+    x = b.maxpool2d(x, kernel=2, stride=2, name="pool3")
+
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, _INCEPTION_CFG[tag], scale, f"i{tag}")
+    x = b.maxpool2d(x, kernel=2, stride=2, name="pool4")
+
+    for tag in ("5a", "5b"):
+        x = _inception(b, x, _INCEPTION_CFG[tag], scale, f"i{tag}")
+
+    x = b.globalavgpool(x)
+    x = b.flatten(x)
+    logits = b.linear(x, classes, name="fc")
+    return b.output(logits)

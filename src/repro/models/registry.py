@@ -1,0 +1,92 @@
+"""Benchmark registry pairing models with datasets as in the paper.
+
+The paper's benchmark suite (§3.2.1): DenseNet169 on ImageNet, ResNet50 on
+ImageNet, VGG19 on CIFAR-100 and GoogLeNet on CIFAR-10, each quantized to
+int8 and int16.  The registry exposes those pairings over the synthetic
+dataset presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.datasets.synthetic import DATASET_PRESETS
+from repro.models.densenet import build_densenet169
+from repro.models.googlenet import build_googlenet
+from repro.models.resnet import build_resnet50
+from repro.models.vgg import build_vgg19
+from repro.nn.graph import Graph
+
+__all__ = ["Benchmark", "BENCHMARKS", "build_benchmark_model", "list_benchmarks"]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One (model, dataset) pairing from the paper's evaluation."""
+
+    name: str
+    model: str
+    dataset: str
+    #: The pairing as printed in the paper, for reports.
+    paper_label: str
+    builder: Callable[..., Graph]
+
+
+BENCHMARKS: dict[str, Benchmark] = {
+    "densenet169": Benchmark(
+        name="densenet169",
+        model="densenet169",
+        dataset="imagenet-syn",
+        paper_label="DenseNet169@ImageNet",
+        builder=build_densenet169,
+    ),
+    "resnet50": Benchmark(
+        name="resnet50",
+        model="resnet50",
+        dataset="imagenet-syn",
+        paper_label="ResNet50@ImageNet",
+        builder=build_resnet50,
+    ),
+    "vgg19": Benchmark(
+        name="vgg19",
+        model="vgg19",
+        dataset="cifar100-syn",
+        paper_label="VGG19@CIFAR-100",
+        builder=build_vgg19,
+    ),
+    "googlenet": Benchmark(
+        name="googlenet",
+        model="googlenet",
+        dataset="cifar10-syn",
+        paper_label="GoogLeNet@CIFAR-10",
+        builder=build_googlenet,
+    ),
+}
+
+
+def list_benchmarks() -> list[str]:
+    """Names of all registered benchmarks."""
+    return sorted(BENCHMARKS)
+
+
+def build_benchmark_model(name: str, **builder_kwargs) -> Graph:
+    """Instantiate the (untrained) model graph for a benchmark.
+
+    The class count and input shape come from the paired dataset preset
+    unless overridden via ``builder_kwargs``.
+    """
+    try:
+        bench = BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark '{name}'; available: {list_benchmarks()}"
+        ) from None
+    spec = DATASET_PRESETS[bench.dataset]
+    kwargs = {
+        "classes": spec.classes,
+        "input_shape": (spec.channels, spec.image_size, spec.image_size),
+    }
+    kwargs.update(builder_kwargs)
+    return bench.builder(**kwargs)

@@ -1,0 +1,88 @@
+"""Width-scaled ResNet-50 (He et al., 2016).
+
+Preserves every architectural element the fault analysis cares about: the
+7x7 stride-2 stem (exercises the DWM decomposition under Winograd mode),
+bottleneck blocks (1x1 -> 3x3 -> 1x1 with expansion 4), stride-2 stage
+transitions with projection shortcuts, and the [3, 4, 6, 3] stage depths.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+__all__ = ["build_resnet50"]
+
+_STAGE_BLOCKS = (3, 4, 6, 3)
+_EXPANSION = 4
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: str,
+    width: int,
+    stride: int,
+    project: bool,
+    tag: str,
+) -> str:
+    """One bottleneck residual block; returns the output node name."""
+    out_channels = width * _EXPANSION
+
+    y = b.conv2d(x, width, kernel=1, bias=False, name=f"{tag}_conv1")
+    y = b.batchnorm2d(y, name=f"{tag}_bn1")
+    y = b.relu(y, name=f"{tag}_relu1")
+
+    y = b.conv2d(y, width, kernel=3, stride=stride, padding=1, bias=False, name=f"{tag}_conv2")
+    y = b.batchnorm2d(y, name=f"{tag}_bn2")
+    y = b.relu(y, name=f"{tag}_relu2")
+
+    y = b.conv2d(y, out_channels, kernel=1, bias=False, name=f"{tag}_conv3")
+    y = b.batchnorm2d(y, name=f"{tag}_bn3")
+
+    if project:
+        shortcut = b.conv2d(
+            x, out_channels, kernel=1, stride=stride, bias=False, name=f"{tag}_proj"
+        )
+        shortcut = b.batchnorm2d(shortcut, name=f"{tag}_proj_bn")
+    else:
+        shortcut = x
+    merged = b.add(y, shortcut, name=f"{tag}_add")
+    return b.relu(merged, name=f"{tag}_out")
+
+
+def build_resnet50(
+    classes: int,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    width_mult: float = 0.125,
+) -> Graph:
+    """Build the ResNet-50 graph.
+
+    ``width_mult`` scales the base stage width of 64; the canonical network
+    is recovered with ``width_mult=1.0`` (and a 224x224 input).
+    """
+    b = GraphBuilder("resnet50", input_shape)
+    base = max(4, int(64 * width_mult))
+
+    x = b.conv2d(b.input_node, base, kernel=7, stride=2, padding=3, bias=False, name="stem_conv")
+    x = b.batchnorm2d(x, name="stem_bn")
+    x = b.relu(x, name="stem_relu")
+    x = b.maxpool2d(x, kernel=3, stride=2, padding=1, name="stem_pool")
+
+    width = base
+    for stage, blocks in enumerate(_STAGE_BLOCKS):
+        stride = 1 if stage == 0 else 2
+        for block in range(blocks):
+            tag = f"s{stage + 1}b{block + 1}"
+            x = _bottleneck(
+                b,
+                x,
+                width,
+                stride=stride if block == 0 else 1,
+                project=block == 0,
+                tag=tag,
+            )
+        width *= 2
+
+    x = b.globalavgpool(x)
+    x = b.flatten(x)
+    logits = b.linear(x, classes, name="fc")
+    return b.output(logits)

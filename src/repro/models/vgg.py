@@ -1,0 +1,63 @@
+"""Width-scaled VGG19 (Simonyan & Zisserman, 2015).
+
+Keeps the full 16-convolution topology of configuration E — the layer count
+is what the paper's Fig. 3 layer-wise vulnerability analysis depends on —
+with channel widths scaled by ``width_mult`` so the NumPy substrate trains
+in minutes.  BatchNorm follows every convolution (the VGG-BN variant),
+which both stabilizes training and exercises BN folding in the quantizer.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+__all__ = ["build_vgg19"]
+
+#: Configuration E of the VGG paper: conv widths with 'M' = 2x2 max-pool.
+_VGG19_CFG = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+)
+
+
+def build_vgg19(
+    classes: int,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    width_mult: float = 0.25,
+    hidden: int = 128,
+) -> Graph:
+    """Build the VGG19 graph.
+
+    Parameters
+    ----------
+    classes:
+        Output class count.
+    input_shape:
+        Per-image ``(C, H, W)``.
+    width_mult:
+        Channel-width multiplier applied to every conv layer (1.0 restores
+        the original widths).
+    hidden:
+        Width of the two fully-connected hidden layers (scaled stand-ins
+        for the original 4096-wide classifier).
+    """
+    b = GraphBuilder("vgg19", input_shape)
+    x = b.input_node
+    conv_index = 0
+    for item in _VGG19_CFG:
+        if item == "M":
+            x = b.maxpool2d(x, kernel=2, stride=2)
+            continue
+        conv_index += 1
+        width = max(4, int(item * width_mult))
+        x = b.conv2d(x, width, kernel=3, padding=1, name=f"conv{conv_index}")
+        x = b.batchnorm2d(x, name=f"bn{conv_index}")
+        x = b.relu(x, name=f"relu{conv_index}")
+    x = b.flatten(x)
+    x = b.relu(b.linear(x, hidden, name="fc1"), name="fc1_relu")
+    x = b.relu(b.linear(x, hidden, name="fc2"), name="fc2_relu")
+    logits = b.linear(x, classes, name="fc3")
+    return b.output(logits)

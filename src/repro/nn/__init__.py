@@ -1,0 +1,29 @@
+"""Minimal NumPy DNN framework over a static graph IR (train + inference)."""
+
+from repro.nn.graph import Graph, GraphBuilder, Node
+from repro.nn.shapes import infer_shapes
+from repro.nn.executor import forward, forward_backward, initialize, predict
+from repro.nn.loss import cross_entropy_with_logits, make_cross_entropy_grad_fn, softmax
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import TrainConfig, TrainResult, evaluate_accuracy, train
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "infer_shapes",
+    "initialize",
+    "forward",
+    "forward_backward",
+    "predict",
+    "softmax",
+    "cross_entropy_with_logits",
+    "make_cross_entropy_grad_fn",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "TrainConfig",
+    "TrainResult",
+    "train",
+    "evaluate_accuracy",
+]

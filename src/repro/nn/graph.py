@@ -1,0 +1,270 @@
+"""Static graph IR for neural networks.
+
+Models are expressed as a topologically ordered list of :class:`Node`
+objects in SSA form: each node names its inputs and produces exactly one
+output tensor under its own name.  A single IR serves four consumers —
+
+* the float training executor (:mod:`repro.nn.executor`),
+* the post-training quantizer (:mod:`repro.quantized`),
+* the operation-level fault injector (:mod:`repro.faultsim`), and
+* the accelerator timing model (:mod:`repro.accel`),
+
+which is what lets the library analyze *the same network* under standard and
+Winograd convolution without per-model special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Node", "Graph", "GraphBuilder"]
+
+#: Operators understood by the executors.
+SUPPORTED_OPS = frozenset(
+    {
+        "input",
+        "conv2d",
+        "linear",
+        "batchnorm2d",
+        "relu",
+        "maxpool2d",
+        "avgpool2d",
+        "globalavgpool",
+        "flatten",
+        "add",
+        "concat",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operation in the graph.
+
+    Attributes
+    ----------
+    name:
+        Unique SSA name; also names the node's output tensor.
+    op:
+        Operator identifier from :data:`SUPPORTED_OPS`.
+    inputs:
+        Names of the nodes whose outputs feed this node.
+    attrs:
+        Operator attributes (kernel size, stride, channel counts, ...).
+    """
+
+    name: str
+    op: str
+    inputs: tuple[str, ...]
+    attrs: dict = field(default_factory=dict)
+
+    def attr(self, key: str, default=None):
+        """Fetch an attribute with an optional default."""
+        return self.attrs.get(key, default)
+
+
+class Graph:
+    """A validated, topologically ordered network graph with parameters."""
+
+    def __init__(self, name: str, input_shape: tuple[int, int, int]):
+        self.name = name
+        #: Per-image input shape ``(C, H, W)``.
+        self.input_shape = input_shape
+        self.nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        #: Trainable parameters: ``node name -> {param name -> ndarray}``.
+        self.params: dict[str, dict[str, np.ndarray]] = {}
+        #: Non-trainable state (BatchNorm running stats).
+        self.buffers: dict[str, dict[str, np.ndarray]] = {}
+        self.output_name: str | None = None
+
+    # --- construction -----------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Append a node, validating op name, uniqueness and input existence."""
+        if node.op not in SUPPORTED_OPS:
+            raise ConfigurationError(f"unsupported op '{node.op}' in node '{node.name}'")
+        if node.name in self._by_name:
+            raise ConfigurationError(f"duplicate node name '{node.name}'")
+        for src in node.inputs:
+            if src not in self._by_name:
+                raise ConfigurationError(
+                    f"node '{node.name}' references unknown input '{src}'"
+                )
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        return node
+
+    def set_output(self, name: str) -> None:
+        """Declare which node's output is the network output (logits)."""
+        if name not in self._by_name:
+            raise ConfigurationError(f"unknown output node '{name}'")
+        self.output_name = name
+
+    # --- queries -----------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look a node up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node '{name}'") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def conv_and_linear_nodes(self) -> list[Node]:
+        """All compute layers that carry weights, in topological order."""
+        return [n for n in self.nodes if n.op in ("conv2d", "linear")]
+
+    def consumers(self, name: str) -> list[Node]:
+        """Nodes that read the output of ``name``."""
+        return [n for n in self.nodes if name in n.inputs]
+
+    def parameter_items(self) -> list[tuple[str, str, np.ndarray]]:
+        """Flat list of ``(node, param, array)`` for the optimizer."""
+        out = []
+        for node_name in sorted(self.params):
+            for param_name in sorted(self.params[node_name]):
+                out.append((node_name, param_name, self.params[node_name][param_name]))
+        return out
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(arr.size for _, _, arr in self.parameter_items())
+
+    # --- persistence ------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flatten params and buffers into ``{'node/param': array}``."""
+        state: dict[str, np.ndarray] = {}
+        for node_name, group in self.params.items():
+            for param_name, arr in group.items():
+                state[f"param/{node_name}/{param_name}"] = arr
+        for node_name, group in self.buffers.items():
+            for buf_name, arr in group.items():
+                state[f"buffer/{node_name}/{buf_name}"] = arr
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (shape-checked)."""
+        for key, arr in state.items():
+            kind, node_name, leaf = key.split("/", 2)
+            target = self.params if kind == "param" else self.buffers
+            if node_name not in target or leaf not in target[node_name]:
+                raise ConfigurationError(f"state key '{key}' not present in graph")
+            if target[node_name][leaf].shape != arr.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for '{key}': "
+                    f"{target[node_name][leaf].shape} vs {arr.shape}"
+                )
+            target[node_name][leaf] = arr.astype(np.float32)
+
+
+class GraphBuilder:
+    """Fluent helper for constructing :class:`Graph` objects.
+
+    Each method appends a node and returns its name so calls chain
+    naturally::
+
+        b = GraphBuilder("net", input_shape=(3, 32, 32))
+        x = b.conv2d(b.input_node, 16, kernel=3, padding=1)
+        x = b.batchnorm2d(x)
+        x = b.relu(x)
+        b.output(b.linear(b.flatten(x), 10))
+    """
+
+    def __init__(self, name: str, input_shape: tuple[int, int, int]):
+        self.graph = Graph(name, input_shape)
+        self._counter: dict[str, int] = {}
+        self.input_node = self._add("input", (), {})
+
+    def _fresh_name(self, op: str) -> str:
+        self._counter[op] = self._counter.get(op, 0) + 1
+        return f"{op}{self._counter[op]}"
+
+    def _add(self, op: str, inputs: tuple[str, ...], attrs: dict, name: str | None = None) -> str:
+        node = Node(name or self._fresh_name(op), op, inputs, attrs)
+        self.graph.add_node(node)
+        return node.name
+
+    # --- layer helpers -----------------------------------------------------------
+    def conv2d(
+        self,
+        src: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str | None = None,
+    ) -> str:
+        """2-D convolution (square kernel)."""
+        attrs = {
+            "out_channels": out_channels,
+            "kernel": kernel,
+            "stride": stride,
+            "padding": padding,
+            "bias": bias,
+        }
+        return self._add("conv2d", (src,), attrs, name)
+
+    def linear(self, src: str, out_features: int, bias: bool = True, name: str | None = None) -> str:
+        """Fully-connected layer."""
+        return self._add(
+            "linear", (src,), {"out_features": out_features, "bias": bias}, name
+        )
+
+    def batchnorm2d(self, src: str, name: str | None = None) -> str:
+        """Per-channel batch normalization."""
+        return self._add("batchnorm2d", (src,), {"eps": 1e-5, "momentum": 0.1}, name)
+
+    def relu(self, src: str, name: str | None = None) -> str:
+        """Rectified linear activation."""
+        return self._add("relu", (src,), {}, name)
+
+    def maxpool2d(self, src: str, kernel: int, stride: int | None = None, padding: int = 0, name: str | None = None) -> str:
+        """Max pooling."""
+        return self._add(
+            "maxpool2d",
+            (src,),
+            {"kernel": kernel, "stride": stride or kernel, "padding": padding},
+            name,
+        )
+
+    def avgpool2d(self, src: str, kernel: int, stride: int | None = None, padding: int = 0, name: str | None = None) -> str:
+        """Average pooling."""
+        return self._add(
+            "avgpool2d",
+            (src,),
+            {"kernel": kernel, "stride": stride or kernel, "padding": padding},
+            name,
+        )
+
+    def globalavgpool(self, src: str, name: str | None = None) -> str:
+        """Global average pooling over the spatial dims."""
+        return self._add("globalavgpool", (src,), {}, name)
+
+    def flatten(self, src: str, name: str | None = None) -> str:
+        """Flatten to (N, features)."""
+        return self._add("flatten", (src,), {}, name)
+
+    def add(self, a: str, b: str, name: str | None = None) -> str:
+        """Element-wise residual addition."""
+        return self._add("add", (a, b), {}, name)
+
+    def concat(self, sources: list[str], name: str | None = None) -> str:
+        """Channel-axis concatenation."""
+        return self._add("concat", tuple(sources), {}, name)
+
+    def output(self, name: str) -> Graph:
+        """Declare the output node and return the finished graph."""
+        self.graph.set_output(name)
+        return self.graph

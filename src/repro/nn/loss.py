@@ -1,0 +1,44 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy_with_logits", "make_cross_entropy_grad_fn"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_with_logits(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(N, classes)``.
+    labels:
+        Integer class indices, shape ``(N,)``.
+    """
+    n = logits.shape[0]
+    probs = softmax(logits.astype(np.float64))
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(np.float32)
+
+
+def make_cross_entropy_grad_fn(labels: np.ndarray):
+    """Closure adapting :func:`cross_entropy_with_logits` to the executor API."""
+
+    def grad_fn(logits: np.ndarray) -> tuple[float, np.ndarray]:
+        return cross_entropy_with_logits(logits, labels)
+
+    return grad_fn

@@ -1,0 +1,340 @@
+"""Forward and backward implementations of every graph operator.
+
+Each operator implements::
+
+    forward(node, graph, xs, train) -> (y, cache)
+    backward(node, graph, cache, grad_y) -> (param_grads, input_grads)
+
+where ``xs``/``input_grads`` are lists aligned with ``node.inputs`` and
+``param_grads`` maps parameter names to gradients.  All math is float32
+NumPy with float64 accumulation where it matters (batch statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.graph import Graph, Node
+from repro.utils.im2col import col2im, conv_output_size, im2col
+
+__all__ = ["forward_op", "backward_op", "init_node_params"]
+
+
+# --------------------------------------------------------------------------- conv2d
+def _conv2d_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    weight = graph.params[node.name]["weight"]
+    k = node.attrs["kernel"]
+    stride, padding = node.attrs["stride"], node.attrs["padding"]
+    n, c, h, w = x.shape
+    out_c = weight.shape[0]
+    p = conv_output_size(h, k, stride, padding)
+    q = conv_output_size(w, k, stride, padding)
+
+    cols = im2col(x, (k, k), stride, padding)  # (N, C*k*k, P*Q)
+    w2 = weight.reshape(out_c, -1)
+    y = np.einsum("kr,nrp->nkp", w2, cols, optimize=True).reshape(n, out_c, p, q)
+    if node.attrs.get("bias", True):
+        y = y + graph.params[node.name]["bias"].reshape(1, out_c, 1, 1)
+    cache = {"cols": cols if train else None, "x_shape": x.shape}
+    return y.astype(np.float32), cache
+
+
+def _conv2d_backward(node: Node, graph: Graph, cache, grad_y):
+    weight = graph.params[node.name]["weight"]
+    k = node.attrs["kernel"]
+    stride, padding = node.attrs["stride"], node.attrs["padding"]
+    n, out_c, p, q = grad_y.shape
+    cols = cache["cols"]
+    g2 = grad_y.reshape(n, out_c, p * q)
+
+    grad_w = np.einsum("nkp,nrp->kr", g2, cols, optimize=True).reshape(weight.shape)
+    param_grads = {"weight": grad_w.astype(np.float32)}
+    if node.attrs.get("bias", True):
+        param_grads["bias"] = grad_y.sum(axis=(0, 2, 3)).astype(np.float32)
+
+    w2 = weight.reshape(out_c, -1)
+    grad_cols = np.einsum("kr,nkp->nrp", w2, g2, optimize=True)
+    grad_x = col2im(grad_cols, cache["x_shape"], (k, k), stride, padding)
+    return param_grads, [grad_x.astype(np.float32)]
+
+
+# --------------------------------------------------------------------------- linear
+def _linear_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    weight = graph.params[node.name]["weight"]  # (out, in)
+    y = x @ weight.T
+    if node.attrs.get("bias", True):
+        y = y + graph.params[node.name]["bias"]
+    return y.astype(np.float32), {"x": x if train else None}
+
+
+def _linear_backward(node: Node, graph: Graph, cache, grad_y):
+    weight = graph.params[node.name]["weight"]
+    x = cache["x"]
+    param_grads = {"weight": (grad_y.T @ x).astype(np.float32)}
+    if node.attrs.get("bias", True):
+        param_grads["bias"] = grad_y.sum(axis=0).astype(np.float32)
+    return param_grads, [(grad_y @ weight).astype(np.float32)]
+
+
+# --------------------------------------------------------------------------- batchnorm
+def _batchnorm_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    gamma = graph.params[node.name]["gamma"]
+    beta = graph.params[node.name]["beta"]
+    buffers = graph.buffers[node.name]
+    eps = node.attrs["eps"]
+
+    if train:
+        mean = x.mean(axis=(0, 2, 3), dtype=np.float64)
+        var = x.var(axis=(0, 2, 3), dtype=np.float64)
+        momentum = node.attrs["momentum"]
+        buffers["running_mean"] = (
+            (1 - momentum) * buffers["running_mean"] + momentum * mean
+        ).astype(np.float32)
+        buffers["running_var"] = (
+            (1 - momentum) * buffers["running_var"] + momentum * var
+        ).astype(np.float32)
+    else:
+        mean = buffers["running_mean"].astype(np.float64)
+        var = buffers["running_var"].astype(np.float64)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+    y = gamma.reshape(1, -1, 1, 1) * x_hat + beta.reshape(1, -1, 1, 1)
+    cache = {"x_hat": x_hat if train else None, "inv_std": inv_std, "gamma": gamma}
+    return y.astype(np.float32), cache
+
+
+def _batchnorm_backward(node: Node, graph: Graph, cache, grad_y):
+    x_hat = cache["x_hat"]
+    inv_std = cache["inv_std"].reshape(1, -1, 1, 1)
+    gamma = cache["gamma"].reshape(1, -1, 1, 1)
+    n, c, h, w = grad_y.shape
+    count = n * h * w
+
+    grad_gamma = (grad_y * x_hat).sum(axis=(0, 2, 3))
+    grad_beta = grad_y.sum(axis=(0, 2, 3))
+
+    # Standard batchnorm backward (training-mode batch statistics).
+    g = grad_y * gamma
+    grad_x = (
+        inv_std
+        / count
+        * (
+            count * g
+            - g.sum(axis=(0, 2, 3), keepdims=True)
+            - x_hat * (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        )
+    )
+    param_grads = {
+        "gamma": grad_gamma.astype(np.float32),
+        "beta": grad_beta.astype(np.float32),
+    }
+    return param_grads, [grad_x.astype(np.float32)]
+
+
+# --------------------------------------------------------------------------- relu
+def _relu_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    y = np.maximum(x, 0.0)
+    return y, {"mask": (x > 0) if train else None}
+
+
+def _relu_backward(node: Node, graph: Graph, cache, grad_y):
+    return {}, [grad_y * cache["mask"]]
+
+
+# --------------------------------------------------------------------------- pooling
+def _pool_cols(x, k, stride, padding):
+    n, c, h, w = x.shape
+    cols = im2col(x.reshape(n * c, 1, h, w), (k, k), stride, padding)
+    p = conv_output_size(h, k, stride, padding)
+    q = conv_output_size(w, k, stride, padding)
+    return cols.reshape(n, c, k * k, p * q), (p, q)
+
+
+def _maxpool_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    k, stride, padding = node.attrs["kernel"], node.attrs["stride"], node.attrs["padding"]
+    cols, (p, q) = _pool_cols(x, k, stride, padding)
+    arg = cols.argmax(axis=2)
+    y = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    n, c = x.shape[0], x.shape[1]
+    cache = {
+        "arg": arg if train else None,
+        "x_shape": x.shape,
+        "out_hw": (p, q),
+    }
+    return y.reshape(n, c, p, q), cache
+
+
+def _maxpool_backward(node: Node, graph: Graph, cache, grad_y):
+    k = node.attrs["kernel"]
+    stride, padding = node.attrs["stride"], node.attrs["padding"]
+    n, c, h, w = cache["x_shape"]
+    p, q = cache["out_hw"]
+    arg = cache["arg"]  # (N, C, P*Q)
+    grad_cols = np.zeros((n, c, k * k, p * q), dtype=np.float32)
+    np.put_along_axis(
+        grad_cols, arg[:, :, None, :], grad_y.reshape(n, c, 1, p * q), axis=2
+    )
+    grad_x = col2im(
+        grad_cols.reshape(n * c, k * k, p * q),
+        (n * c, 1, h, w),
+        (k, k),
+        stride,
+        padding,
+    ).reshape(n, c, h, w)
+    return {}, [grad_x]
+
+
+def _avgpool_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    k, stride, padding = node.attrs["kernel"], node.attrs["stride"], node.attrs["padding"]
+    cols, (p, q) = _pool_cols(x, k, stride, padding)
+    y = cols.mean(axis=2)
+    n, c = x.shape[0], x.shape[1]
+    return y.reshape(n, c, p, q), {"x_shape": x.shape, "out_hw": (p, q)}
+
+
+def _avgpool_backward(node: Node, graph: Graph, cache, grad_y):
+    k = node.attrs["kernel"]
+    stride, padding = node.attrs["stride"], node.attrs["padding"]
+    n, c, h, w = cache["x_shape"]
+    p, q = cache["out_hw"]
+    grad_cols = np.broadcast_to(
+        grad_y.reshape(n * c, 1, p * q) / (k * k), (n * c, k * k, p * q)
+    ).astype(np.float32)
+    grad_x = col2im(grad_cols, (n * c, 1, h, w), (k, k), stride, padding)
+    return {}, [grad_x.reshape(n, c, h, w)]
+
+
+def _gap_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    y = x.mean(axis=(2, 3), keepdims=True)
+    return y.astype(np.float32), {"x_shape": x.shape}
+
+
+def _gap_backward(node: Node, graph: Graph, cache, grad_y):
+    n, c, h, w = cache["x_shape"]
+    grad_x = np.broadcast_to(grad_y / (h * w), (n, c, h, w)).astype(np.float32)
+    return {}, [grad_x]
+
+
+# --------------------------------------------------------------------------- shape ops
+def _flatten_forward(node: Node, graph: Graph, xs, train):
+    (x,) = xs
+    return x.reshape(x.shape[0], -1), {"x_shape": x.shape}
+
+
+def _flatten_backward(node: Node, graph: Graph, cache, grad_y):
+    return {}, [grad_y.reshape(cache["x_shape"])]
+
+
+def _add_forward(node: Node, graph: Graph, xs, train):
+    a, b = xs
+    if a.shape != b.shape:
+        raise ShapeError(f"add '{node.name}': shapes {a.shape} vs {b.shape}")
+    return a + b, {}
+
+
+def _add_backward(node: Node, graph: Graph, cache, grad_y):
+    return {}, [grad_y, grad_y]
+
+
+def _concat_forward(node: Node, graph: Graph, xs, train):
+    return np.concatenate(xs, axis=1), {"splits": [x.shape[1] for x in xs]}
+
+
+def _concat_backward(node: Node, graph: Graph, cache, grad_y):
+    grads = []
+    offset = 0
+    for width in cache["splits"]:
+        grads.append(grad_y[:, offset : offset + width])
+        offset += width
+    return {}, grads
+
+
+_FORWARD = {
+    "conv2d": _conv2d_forward,
+    "linear": _linear_forward,
+    "batchnorm2d": _batchnorm_forward,
+    "relu": _relu_forward,
+    "maxpool2d": _maxpool_forward,
+    "avgpool2d": _avgpool_forward,
+    "globalavgpool": _gap_forward,
+    "flatten": _flatten_forward,
+    "add": _add_forward,
+    "concat": _concat_forward,
+}
+
+_BACKWARD = {
+    "conv2d": _conv2d_backward,
+    "linear": _linear_backward,
+    "batchnorm2d": _batchnorm_backward,
+    "relu": _relu_backward,
+    "maxpool2d": _maxpool_backward,
+    "avgpool2d": _avgpool_backward,
+    "globalavgpool": _gap_backward,
+    "flatten": _flatten_backward,
+    "add": _add_backward,
+    "concat": _concat_backward,
+}
+
+
+def forward_op(node: Node, graph: Graph, xs: list[np.ndarray], train: bool):
+    """Run one node forward; returns ``(output, cache)``."""
+    return _FORWARD[node.op](node, graph, xs, train)
+
+
+def backward_op(node: Node, graph: Graph, cache, grad_y: np.ndarray):
+    """Run one node backward; returns ``(param_grads, input_grads)``."""
+    return _BACKWARD[node.op](node, graph, cache, grad_y)
+
+
+def init_node_params(
+    node: Node,
+    graph: Graph,
+    in_shape: tuple,
+    rng: np.random.Generator,
+) -> None:
+    """Allocate and initialize parameters/buffers for a node.
+
+    Convolutions and linear layers use Kaiming-normal fan-in initialization
+    (appropriate for ReLU networks); BatchNorm starts at identity.
+    """
+    if node.op == "conv2d":
+        c = in_shape[0]
+        k = node.attrs["kernel"]
+        out_c = node.attrs["out_channels"]
+        fan_in = c * k * k
+        std = float(np.sqrt(2.0 / fan_in))
+        params = {
+            "weight": rng.normal(0.0, std, size=(out_c, c, k, k)).astype(np.float32)
+        }
+        if node.attrs.get("bias", True):
+            params["bias"] = np.zeros(out_c, dtype=np.float32)
+        graph.params[node.name] = params
+    elif node.op == "linear":
+        fan_in = in_shape[0]
+        out_f = node.attrs["out_features"]
+        std = float(np.sqrt(2.0 / fan_in))
+        params = {
+            "weight": rng.normal(0.0, std, size=(out_f, fan_in)).astype(np.float32)
+        }
+        if node.attrs.get("bias", True):
+            params["bias"] = np.zeros(out_f, dtype=np.float32)
+        graph.params[node.name] = params
+    elif node.op == "batchnorm2d":
+        c = in_shape[0]
+        graph.params[node.name] = {
+            "gamma": np.ones(c, dtype=np.float32),
+            "beta": np.zeros(c, dtype=np.float32),
+        }
+        graph.buffers[node.name] = {
+            "running_mean": np.zeros(c, dtype=np.float32),
+            "running_var": np.ones(c, dtype=np.float32),
+        }

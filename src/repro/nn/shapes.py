@@ -1,0 +1,96 @@
+"""Static shape inference over the graph IR.
+
+Returns per-node output shapes without running any data, which the
+quantizer, fault-site counter and accelerator mapper all rely on.
+Shapes are per-image (no batch dimension): ``(C, H, W)`` for feature maps
+and ``(F,)`` for flattened vectors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.nn.graph import Graph, Node
+from repro.utils.im2col import conv_output_size
+
+__all__ = ["infer_shapes"]
+
+
+def _spatial(shape: tuple) -> tuple[int, int, int]:
+    if len(shape) != 3:
+        raise ShapeError(f"expected (C, H, W) feature map, got {shape}")
+    return shape
+
+
+def _infer_node(node: Node, in_shapes: list[tuple]) -> tuple:
+    op = node.op
+    if op == "conv2d":
+        c, h, w = _spatial(in_shapes[0])
+        k = node.attrs["kernel"]
+        stride, padding = node.attrs["stride"], node.attrs["padding"]
+        return (
+            node.attrs["out_channels"],
+            conv_output_size(h, k, stride, padding),
+            conv_output_size(w, k, stride, padding),
+        )
+    if op == "linear":
+        (features,) = in_shapes[0] if len(in_shapes[0]) == 1 else (None,)
+        if features is None:
+            raise ShapeError(
+                f"linear node '{node.name}' needs a flattened input, got {in_shapes[0]}"
+            )
+        return (node.attrs["out_features"],)
+    if op in ("batchnorm2d", "relu"):
+        return in_shapes[0]
+    if op in ("maxpool2d", "avgpool2d"):
+        c, h, w = _spatial(in_shapes[0])
+        k = node.attrs["kernel"]
+        stride, padding = node.attrs["stride"], node.attrs["padding"]
+        return (
+            c,
+            conv_output_size(h, k, stride, padding),
+            conv_output_size(w, k, stride, padding),
+        )
+    if op == "globalavgpool":
+        c, _, _ = _spatial(in_shapes[0])
+        return (c, 1, 1)
+    if op == "flatten":
+        size = 1
+        for dim in in_shapes[0]:
+            size *= dim
+        return (size,)
+    if op == "add":
+        if in_shapes[0] != in_shapes[1]:
+            raise ShapeError(
+                f"add node '{node.name}' input shapes differ: "
+                f"{in_shapes[0]} vs {in_shapes[1]}"
+            )
+        return in_shapes[0]
+    if op == "concat":
+        base = _spatial(in_shapes[0])
+        channels = 0
+        for shape in in_shapes:
+            c, h, w = _spatial(shape)
+            if (h, w) != base[1:]:
+                raise ShapeError(
+                    f"concat node '{node.name}' spatial mismatch: {shape} vs {base}"
+                )
+            channels += c
+        return (channels, base[1], base[2])
+    raise ShapeError(f"cannot infer shape for op '{op}'")
+
+
+def infer_shapes(graph: Graph) -> dict[str, tuple]:
+    """Compute the output shape of every node.
+
+    ReLU-style ops propagate their input shape; conv/pool use the standard
+    output-size formula.  Raises :class:`ShapeError` on inconsistency, which
+    doubles as a whole-graph validity check at model-construction time.
+    """
+    shapes: dict[str, tuple] = {}
+    for node in graph:
+        if node.op == "input":
+            shapes[node.name] = graph.input_shape
+            continue
+        in_shapes = [shapes[src] for src in node.inputs]
+        shapes[node.name] = _infer_node(node, in_shapes)
+    return shapes

@@ -1,0 +1,51 @@
+"""Quantized integer inference: BN folding, PTQ, direct & Winograd executors."""
+
+from repro.quantized.qconfig import (
+    CONV_MODE_STANDARD,
+    CONV_MODE_WINOGRAD,
+    QuantConfig,
+)
+from repro.quantized.interface import Injector
+from repro.quantized.fold import bn_affine_coefficients, fold_batchnorm
+from repro.quantized.qops import (
+    QAdd,
+    QAffine,
+    QAvgPool,
+    QConcat,
+    QConvDirect,
+    QConvWinograd,
+    QFlatten,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QNode,
+    QReLU,
+)
+from repro.quantized.qmodel import QuantizedModel
+from repro.quantized.quantizer import folded_float_forward, quantize_model
+
+__all__ = [
+    "QuantConfig",
+    "CONV_MODE_STANDARD",
+    "CONV_MODE_WINOGRAD",
+    "Injector",
+    "fold_batchnorm",
+    "bn_affine_coefficients",
+    "QNode",
+    "QInput",
+    "QConvDirect",
+    "QConvWinograd",
+    "QLinear",
+    "QAffine",
+    "QReLU",
+    "QMaxPool",
+    "QAvgPool",
+    "QGlobalAvgPool",
+    "QFlatten",
+    "QAdd",
+    "QConcat",
+    "QuantizedModel",
+    "quantize_model",
+    "folded_float_forward",
+]

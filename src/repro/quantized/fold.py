@@ -1,0 +1,102 @@
+"""BatchNorm folding pass over the float graph.
+
+Inference-time BatchNorm is an affine map per channel.  When a BN node
+directly follows a convolution (Conv-BN-ReLU networks: VGG/ResNet/
+GoogLeNet), it folds into the convolution's weights and bias exactly.
+Pre-activation networks (DenseNet's BN-ReLU-Conv) leave BN nodes that the
+quantizer later lowers to integer affine operations.
+
+The pass returns a *new* graph (the original is untouched) whose remaining
+``batchnorm2d`` nodes carry their inference-time affine coefficients in
+``params[name]['scale'|'shift']``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph, Node
+
+__all__ = ["fold_batchnorm", "bn_affine_coefficients"]
+
+
+def bn_affine_coefficients(
+    graph: Graph, bn_name: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inference-time ``y = scale * x + shift`` coefficients of a BN node."""
+    node = graph.node(bn_name)
+    gamma = graph.params[bn_name]["gamma"].astype(np.float64)
+    beta = graph.params[bn_name]["beta"].astype(np.float64)
+    mean = graph.buffers[bn_name]["running_mean"].astype(np.float64)
+    var = graph.buffers[bn_name]["running_var"].astype(np.float64)
+    inv_std = 1.0 / np.sqrt(var + node.attrs["eps"])
+    scale = gamma * inv_std
+    shift = beta - mean * scale
+    return scale, shift
+
+
+def fold_batchnorm(graph: Graph) -> Graph:
+    """Fold conv->bn pairs; lower remaining BNs to explicit affine params.
+
+    A BN folds into its producer conv only when the conv feeds *only* that
+    BN (otherwise other consumers would observe pre-BN activations).
+    """
+    folded = Graph(graph.name, graph.input_shape)
+    #: Maps original node name -> name to use when referenced as an input.
+    alias: dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        return alias.get(name, name)
+
+    for node in graph:
+        if node.op == "batchnorm2d":
+            src = graph.node(node.inputs[0])
+            foldable = (
+                src.op == "conv2d"
+                and len(graph.consumers(src.name)) == 1
+                and src.name in folded
+            )
+            scale, shift = bn_affine_coefficients(graph, node.name)
+            if foldable:
+                conv_params = folded.params[src.name]
+                weight = conv_params["weight"].astype(np.float64)
+                bias = conv_params.get(
+                    "bias", np.zeros(weight.shape[0], dtype=np.float64)
+                ).astype(np.float64)
+                conv_params["weight"] = (
+                    weight * scale.reshape(-1, 1, 1, 1)
+                ).astype(np.float32)
+                conv_params["bias"] = (bias * scale + shift).astype(np.float32)
+                # The folded conv now has a bias even if it did not before.
+                folded_node = folded.node(src.name)
+                folded_node.attrs["bias"] = True
+                alias[node.name] = resolve(src.name)
+                continue
+            # Keep as an affine node (frozen inference-time coefficients).
+            new_node = Node(
+                node.name,
+                "batchnorm2d",
+                tuple(resolve(s) for s in node.inputs),
+                dict(node.attrs),
+            )
+            folded.add_node(new_node)
+            folded.params[node.name] = {
+                "scale": scale.astype(np.float32),
+                "shift": shift.astype(np.float32),
+            }
+            continue
+
+        new_node = Node(
+            node.name,
+            node.op,
+            tuple(resolve(s) for s in node.inputs),
+            dict(node.attrs),
+        )
+        folded.add_node(new_node)
+        if node.name in graph.params:
+            folded.params[node.name] = {
+                key: arr.copy() for key, arr in graph.params[node.name].items()
+            }
+
+    folded.set_output(resolve(graph.output_name))
+    return folded

@@ -1,0 +1,58 @@
+"""Quantization configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["QuantConfig", "CONV_MODE_STANDARD", "CONV_MODE_WINOGRAD"]
+
+CONV_MODE_STANDARD = "standard"
+CONV_MODE_WINOGRAD = "winograd"
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Post-training quantization settings.
+
+    Attributes
+    ----------
+    width:
+        Activation/weight data width in bits; the paper evaluates 8 and 16.
+    acc_guard:
+        Extra bits on addition-result registers beyond ``width`` for
+        fault-injection purposes (arithmetic itself is exact int64).  The
+        default of 4 models the guard bits real accumulation datapaths
+        carry between requantization points; raising it widens the
+        bit-flip window of sum registers (ablation knob).
+    calibration:
+        ``"minmax"`` or ``"percentile"`` range selection.
+    percentile:
+        Percentile used when ``calibration == "percentile"``.
+    wg_tile:
+        Winograd output-tile size ``m`` of ``F(m, 3)``.
+    """
+
+    width: int = 16
+    acc_guard: int = 4
+    calibration: str = "minmax"
+    percentile: float = 99.9
+    wg_tile: int = 2
+
+    def __post_init__(self) -> None:
+        if self.width not in (8, 16):
+            raise ConfigurationError(
+                f"width must be 8 or 16 to match the paper, got {self.width}"
+            )
+        if self.calibration not in ("minmax", "percentile"):
+            raise ConfigurationError(
+                f"calibration must be 'minmax' or 'percentile', got {self.calibration!r}"
+            )
+        if self.wg_tile not in (2, 4, 6):
+            raise ConfigurationError(f"wg_tile must be one of 2/4/6, got {self.wg_tile}")
+
+    @property
+    def acc_width(self) -> int:
+        """Accumulator register width used by the fault model."""
+        return self.width + self.acc_guard

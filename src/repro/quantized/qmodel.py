@@ -1,0 +1,119 @@
+"""Quantized model container and integer inference executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat
+from repro.quantized.interface import Injector
+from repro.quantized.qconfig import QuantConfig
+from repro.quantized.qops import QConvDirect, QConvWinograd, QLinear, QNode
+from repro.winograd.opcount import OpCounts
+
+__all__ = ["QuantizedModel"]
+
+
+@dataclass
+class QuantizedModel:
+    """A fully quantized network ready for integer inference.
+
+    Built by :func:`repro.quantized.quantizer.quantize_model`; holds the
+    topologically ordered quantized nodes, the conv execution mode and the
+    quantization config.  The fault injector receives per-layer visits
+    during :meth:`forward`.
+    """
+
+    name: str
+    conv_mode: str
+    config: QuantConfig
+    nodes: list[QNode]
+    output_name: str
+    input_shape: tuple[int, int, int]
+    #: Fault-free float-graph accuracy reference, set by experiment drivers.
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_name = {node.name: node for node in self.nodes}
+        if self.output_name not in self._by_name:
+            raise ConfigurationError(f"unknown output node '{self.output_name}'")
+
+    # --- structure queries -------------------------------------------------------
+    def node(self, name: str) -> QNode:
+        """Look up a quantized node by name."""
+        return self._by_name[name]
+
+    def injectable_layers(self) -> list[QNode]:
+        """Weight-bearing layers (conv + linear) in topological order."""
+        return [
+            n
+            for n in self.nodes
+            if isinstance(n, (QConvDirect, QConvWinograd, QLinear))
+        ]
+
+    def layer_op_counts(self) -> dict[str, OpCounts]:
+        """Per-layer primitive-op census (per image)."""
+        return {n.name: n.op_counts for n in self.injectable_layers()}
+
+    def total_op_counts(self) -> OpCounts:
+        """Whole-network primitive-op census (per image)."""
+        total = OpCounts()
+        for layer in self.injectable_layers():
+            total = total + layer.op_counts
+        return total
+
+    @property
+    def output_fmt(self) -> QFormat:
+        """Format of the logits."""
+        return self._by_name[self.output_name].out_fmt
+
+    # --- inference ---------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray, injector: Injector | None = None
+    ) -> np.ndarray:
+        """Integer forward pass; returns stored-integer logits.
+
+        ``x`` is float input data (quantized by the input node) of shape
+        ``(N, C, H, W)``.
+        """
+        if injector is not None:
+            injector.begin_inference(x.shape[0])
+        values: dict[str, np.ndarray] = {}
+        for node in self.nodes:
+            if node.op == "QInput":
+                values[node.name] = node.forward([x], injector)
+                continue
+            xs = [values[src] for src in node.inputs]
+            values[node.name] = node.forward(xs, injector)
+        return values[self.output_name]
+
+    def logits(self, x: np.ndarray, injector: Injector | None = None) -> np.ndarray:
+        """Dequantized (real-valued) logits."""
+        out = self.forward(x, injector)
+        return out.astype(np.float64) * self.output_fmt.scale
+
+    def predict(
+        self,
+        x: np.ndarray,
+        injector: Injector | None = None,
+        batch_size: int = 128,
+    ) -> np.ndarray:
+        """Class predictions under optional fault injection."""
+        preds = []
+        for start in range(0, len(x), batch_size):
+            out = self.forward(x[start : start + batch_size], injector)
+            preds.append(np.argmax(out, axis=1))
+        return np.concatenate(preds)
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        injector: Injector | None = None,
+        batch_size: int = 128,
+    ) -> float:
+        """Top-1 accuracy under optional fault injection."""
+        preds = self.predict(x, injector, batch_size=batch_size)
+        return float((preds == labels).mean())

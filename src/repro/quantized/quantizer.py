@@ -1,0 +1,312 @@
+"""Post-training quantization: float graph -> :class:`QuantizedModel`.
+
+Pipeline:
+
+1. Fold BatchNorm (:mod:`repro.quantized.fold`).
+2. Run the folded float graph over a calibration batch, recording per-node
+   output ranges.
+3. Assign a :class:`QFormat` to every tensor (activations per-tensor from
+   calibration; weights per-tensor from their extrema).
+4. Lower each node to its quantized counterpart; convolutions become either
+   the direct integer GEMM or the integer-exact Winograd kernel depending
+   on ``conv_mode`` (1x1 convolutions always run direct — Winograd is
+   meaningless for pointwise kernels, matching real deployments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.fixedpoint import MinMaxObserver, PercentileObserver, QFormat, quantize
+from repro.nn.graph import Graph, Node
+from repro.nn.ops import forward_op
+from repro.nn.shapes import infer_shapes
+from repro.quantized.fold import fold_batchnorm
+from repro.quantized.qconfig import (
+    CONV_MODE_STANDARD,
+    CONV_MODE_WINOGRAD,
+    QuantConfig,
+)
+from repro.quantized.qmodel import QuantizedModel
+from repro.quantized.qops import (
+    QAdd,
+    QAffine,
+    QAvgPool,
+    QConcat,
+    QConvDirect,
+    QConvWinograd,
+    QFlatten,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QReLU,
+    conv_op_counts,
+    linear_op_counts,
+)
+
+__all__ = ["quantize_model", "folded_float_forward"]
+
+
+def folded_float_forward(folded: Graph, x: np.ndarray) -> dict[str, np.ndarray]:
+    """Float forward over a BN-folded graph, returning all activations.
+
+    Remaining ``batchnorm2d`` nodes hold frozen ``scale``/``shift`` params
+    (produced by the folding pass) and are applied as affine maps.
+    """
+    activations: dict[str, np.ndarray] = {}
+    for node in folded:
+        if node.op == "input":
+            activations[node.name] = np.asarray(x, dtype=np.float32)
+            continue
+        xs = [activations[src] for src in node.inputs]
+        if node.op == "batchnorm2d":
+            scale = folded.params[node.name]["scale"].reshape(1, -1, 1, 1)
+            shift = folded.params[node.name]["shift"].reshape(1, -1, 1, 1)
+            activations[node.name] = xs[0] * scale + shift
+        else:
+            activations[node.name], _ = forward_op(node, folded, xs, train=False)
+    return activations
+
+
+def _make_observer(config: QuantConfig):
+    if config.calibration == "percentile":
+        return PercentileObserver(width=config.width, percentile=config.percentile)
+    return MinMaxObserver(width=config.width)
+
+
+def _activation_formats(
+    folded: Graph, calib_x: np.ndarray, config: QuantConfig, batch_size: int = 64
+) -> dict[str, QFormat]:
+    """Observe every node output over the calibration set and derive formats."""
+    observers = {node.name: _make_observer(config) for node in folded}
+    for start in range(0, len(calib_x), batch_size):
+        acts = folded_float_forward(folded, calib_x[start : start + batch_size])
+        for name, arr in acts.items():
+            observers[name].observe(arr)
+    return {name: obs.qformat() for name, obs in observers.items()}
+
+
+def _weight_format(weight: np.ndarray, width: int) -> QFormat:
+    max_abs = float(np.max(np.abs(weight)))
+    if max_abs == 0.0:
+        raise QuantizationError("all-zero weight tensor cannot be quantized")
+    return QFormat.for_max_abs(width, max_abs)
+
+
+def _quantize_bias(
+    bias: np.ndarray | None, out_channels: int, acc_frac: int
+) -> np.ndarray:
+    if bias is None:
+        return np.zeros(out_channels, dtype=np.int64)
+    return np.asarray(
+        np.sign(bias) * np.floor(np.abs(bias) * 2.0**acc_frac + 0.5), dtype=np.int64
+    )
+
+
+def quantize_model(
+    graph: Graph,
+    calib_x: np.ndarray,
+    config: QuantConfig | None = None,
+    conv_mode: str = CONV_MODE_STANDARD,
+) -> QuantizedModel:
+    """Quantize a trained float graph for integer inference.
+
+    Parameters
+    ----------
+    graph:
+        Trained float graph (BN still unfolded).
+    calib_x:
+        Calibration inputs, shape ``(N, C, H, W)``; a few hundred samples
+        suffice for min-max calibration.
+    config:
+        Quantization settings (defaults to int16 min-max).
+    conv_mode:
+        ``"standard"`` or ``"winograd"``.
+    """
+    config = config or QuantConfig()
+    if conv_mode not in (CONV_MODE_STANDARD, CONV_MODE_WINOGRAD):
+        raise ConfigurationError(f"unknown conv_mode '{conv_mode}'")
+
+    folded = fold_batchnorm(graph)
+    shapes = infer_shapes(folded)
+    fmts = _activation_formats(folded, calib_x, config)
+
+    qnodes = []
+    for node in folded:
+        qnode = _lower_node(node, folded, shapes, fmts, config, conv_mode)
+        qnode.out_shape = shapes[node.name]
+        qnodes.append(qnode)
+
+    return QuantizedModel(
+        name=graph.name,
+        conv_mode=conv_mode,
+        config=config,
+        nodes=qnodes,
+        output_name=folded.output_name,
+        input_shape=folded.input_shape,
+    )
+
+
+def _lower_node(
+    node: Node,
+    folded: Graph,
+    shapes: dict,
+    fmts: dict[str, QFormat],
+    config: QuantConfig,
+    conv_mode: str,
+):
+    """Lower one folded float node to its quantized counterpart."""
+    name, inputs = node.name, node.inputs
+    if node.op == "input":
+        return QInput(name, (), fmts[name])
+
+    in_fmt = None
+    if inputs:
+        in_fmt = _resolved_fmt(folded, fmts, inputs[0], config)
+
+    if node.op == "conv2d":
+        weight = folded.params[name]["weight"]
+        w_fmt = _weight_format(weight, config.width)
+        w_int = quantize(weight, w_fmt)
+        out_fmt = fmts[name]
+        acc_frac = in_fmt.frac + w_fmt.frac
+        bias = folded.params[name].get("bias") if node.attrs.get("bias", True) else None
+        bias_acc = _quantize_bias(bias, weight.shape[0], acc_frac)
+        kernel, stride = node.attrs["kernel"], node.attrs["stride"]
+        out_shape = shapes[name]
+        counts_mode = (
+            "winograd" if conv_mode == CONV_MODE_WINOGRAD and kernel >= 3 else "standard"
+        )
+        counts = conv_op_counts(
+            counts_mode,
+            in_channels=weight.shape[1],
+            out_channels=weight.shape[0],
+            kernel=kernel,
+            stride=stride,
+            out_size=(out_shape[1], out_shape[2]),
+            m=config.wg_tile,
+            bias=True,
+        )
+        common = dict(
+            name=name,
+            inputs=inputs,
+            out_fmt=out_fmt,
+            weight_int=w_int,
+            bias_acc=bias_acc,
+            in_fmt=in_fmt,
+            w_fmt=w_fmt,
+            kernel=kernel,
+            stride=stride,
+            padding=node.attrs["padding"],
+            acc_width=config.acc_width,
+            in_shape=shapes[inputs[0]],
+            op_counts=counts,
+        )
+        if counts_mode == "winograd":
+            qconv = QConvWinograd(m=config.wg_tile, **common)
+            qconv.prepare()
+            return qconv
+        return QConvDirect(**common)
+
+    if node.op == "linear":
+        weight = folded.params[name]["weight"]
+        w_fmt = _weight_format(weight, config.width)
+        w_int = quantize(weight, w_fmt)
+        acc_frac = in_fmt.frac + w_fmt.frac
+        bias = folded.params[name].get("bias") if node.attrs.get("bias", True) else None
+        bias_acc = _quantize_bias(bias, weight.shape[0], acc_frac)
+        return QLinear(
+            name=name,
+            inputs=inputs,
+            out_fmt=fmts[name],
+            weight_int=w_int,
+            bias_acc=bias_acc,
+            in_fmt=in_fmt,
+            w_fmt=w_fmt,
+            acc_width=config.acc_width,
+            in_shape=shapes[inputs[0]],
+            op_counts=linear_op_counts(weight.shape[1], weight.shape[0]),
+        )
+
+    if node.op == "batchnorm2d":
+        scale = folded.params[name]["scale"].astype(np.float64)
+        shift = folded.params[name]["shift"].astype(np.float64)
+        out_fmt = fmts[name]
+        mult = scale * 2.0 ** (out_fmt.frac - in_fmt.frac)
+        mult_int = np.asarray(
+            np.sign(mult) * np.floor(np.abs(mult) * 2.0**QAffine.SHIFT + 0.5),
+            dtype=np.int64,
+        )
+        shift_int = np.asarray(
+            np.sign(shift) * np.floor(np.abs(shift) * 2.0**out_fmt.frac + 0.5),
+            dtype=np.int64,
+        )
+        return QAffine(
+            name=name,
+            inputs=inputs,
+            out_fmt=out_fmt,
+            mult_int=mult_int,
+            shift_int=shift_int,
+            in_fmt=in_fmt,
+        )
+
+    if node.op == "relu":
+        return QReLU(name, inputs, in_fmt)
+    if node.op == "maxpool2d":
+        return QMaxPool(
+            name,
+            inputs,
+            in_fmt,
+            kernel=node.attrs["kernel"],
+            stride=node.attrs["stride"],
+            padding=node.attrs["padding"],
+        )
+    if node.op == "avgpool2d":
+        return QAvgPool(
+            name,
+            inputs,
+            in_fmt,
+            kernel=node.attrs["kernel"],
+            stride=node.attrs["stride"],
+            padding=node.attrs["padding"],
+        )
+    if node.op == "globalavgpool":
+        return QGlobalAvgPool(name, inputs, in_fmt)
+    if node.op == "flatten":
+        return QFlatten(name, inputs, in_fmt)
+    if node.op == "add":
+        fa = _resolved_fmt(folded, fmts, inputs[0], config)
+        fb = _resolved_fmt(folded, fmts, inputs[1], config)
+        return QAdd(name, inputs, fmts[name], in_fmts=(fa, fb))
+    if node.op == "concat":
+        in_fmts = tuple(
+            _resolved_fmt(folded, fmts, src, config) for src in inputs
+        )
+        # The coarsest (smallest-frac) input format covers every branch.
+        out_fmt = min(in_fmts, key=lambda f: f.frac)
+        return QConcat(name, inputs, out_fmt, in_fmts=in_fmts)
+
+    raise ConfigurationError(f"cannot lower op '{node.op}'")
+
+
+def _resolved_fmt(
+    folded: Graph, fmts: dict[str, QFormat], name: str, config: QuantConfig
+) -> QFormat:
+    """Effective output format of node ``name`` after lowering.
+
+    Pass-through ops (ReLU, pooling, flatten) emit their input's format, and
+    concat emits the coarsest input format, so the *calibrated* format of
+    those nodes is not what their quantized counterpart produces.  Walk the
+    chain down to the defining node.
+    """
+    node = folded.node(name)
+    if node.op in ("relu", "maxpool2d", "avgpool2d", "globalavgpool", "flatten"):
+        return _resolved_fmt(folded, fmts, node.inputs[0], config)
+    if node.op == "concat":
+        branch_fmts = [
+            _resolved_fmt(folded, fmts, src, config) for src in node.inputs
+        ]
+        return min(branch_fmts, key=lambda f: f.frac)
+    return fmts[name]

@@ -1,0 +1,30 @@
+"""Fine-grained TMR: cost model, iterative planner, deployment schemes."""
+
+from repro.tmr.cost import OpCostModel, full_protection_energy, tmr_overhead_energy
+from repro.tmr.planner import TmrPlanResult, plan_tmr
+from repro.tmr.schemes import (
+    SCHEME_ST,
+    SCHEME_WG_W_AFT,
+    SCHEME_WG_WO_AFT,
+    SchemeCurve,
+    average_reduction,
+    map_plan_to_winograd,
+    normalized_overheads,
+    run_tmr_schemes,
+)
+
+__all__ = [
+    "OpCostModel",
+    "tmr_overhead_energy",
+    "full_protection_energy",
+    "TmrPlanResult",
+    "plan_tmr",
+    "SCHEME_ST",
+    "SCHEME_WG_WO_AFT",
+    "SCHEME_WG_W_AFT",
+    "SchemeCurve",
+    "map_plan_to_winograd",
+    "run_tmr_schemes",
+    "normalized_overheads",
+    "average_reduction",
+]

@@ -1,0 +1,103 @@
+"""Energy cost model for primitive operations and TMR overhead accounting.
+
+Per-operation energies follow the widely used 45 nm numbers from Horowitz
+(ISSCC 2014): integer addition scales roughly linearly with bit width and
+integer multiplication roughly quadratically.  Absolute values only matter
+up to a constant — every TMR result in the paper (and here) is *normalized*
+overhead — but keeping real units makes the numbers interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.qmodel import QuantizedModel
+from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
+
+__all__ = ["OpCostModel", "tmr_overhead_energy", "full_protection_energy"]
+
+#: Horowitz ISSCC'14, 45 nm: (width -> pJ).
+_ADD_ENERGY_PJ = {8: 0.03, 16: 0.05, 32: 0.1}
+_MUL_ENERGY_PJ = {8: 0.2, 16: 0.8, 32: 3.1}
+
+
+def _interp_width(table: dict[int, float], width: int, power: float) -> float:
+    """Interpolate an energy table by width with a power-law fallback."""
+    if width in table:
+        return table[width]
+    base_width, base = 8, table[8]
+    return base * (width / base_width) ** power
+
+
+@dataclass(frozen=True)
+class OpCostModel:
+    """Energy per primitive operation at a given data width.
+
+    Attributes
+    ----------
+    width:
+        Datapath width in bits.
+    tmr_factor:
+        Energy multiplier for protecting one operation with TMR: two
+        redundant executions plus majority voting (the voter is charged as
+        a small fraction of an addition).
+    """
+
+    width: int = 16
+    tmr_factor: float = 2.1
+
+    def add_energy(self) -> float:
+        """Energy of one addition (pJ)."""
+        return _interp_width(_ADD_ENERGY_PJ, self.width, power=1.0)
+
+    def mul_energy(self) -> float:
+        """Energy of one multiplication (pJ)."""
+        return _interp_width(_MUL_ENERGY_PJ, self.width, power=2.0)
+
+    def category_energy(self, category: str) -> float:
+        """Energy of one operation of a fault-site category (pJ)."""
+        if category in MUL_CATEGORIES:
+            return self.mul_energy()
+        if category in ADD_CATEGORIES:
+            return self.add_energy()
+        raise ConfigurationError(f"unknown op category '{category}'")
+
+
+def tmr_overhead_energy(
+    qmodel: QuantizedModel,
+    plan: ProtectionPlan,
+    cost_model: OpCostModel | None = None,
+) -> float:
+    """Extra energy (pJ/inference) spent executing ``plan`` with TMR.
+
+    A protected fraction ``rho`` of a category with ``n`` ops costs
+    ``rho * n * op_energy * (tmr_factor - 1)`` extra — the baseline single
+    execution is not overhead.
+    """
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    extra = cost_model.tmr_factor - 1.0
+    total = 0.0
+    for layer in qmodel.injectable_layers():
+        for category, n_ops in layer.op_counts.by_category().items():
+            if not n_ops:
+                continue
+            rho = plan.fraction(layer.name, category)
+            if rho > 0:
+                total += rho * n_ops * cost_model.category_energy(category) * extra
+    return total
+
+
+def full_protection_energy(
+    qmodel: QuantizedModel, cost_model: OpCostModel | None = None
+) -> float:
+    """TMR overhead of protecting every operation (normalization anchor)."""
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    extra = cost_model.tmr_factor - 1.0
+    total = 0.0
+    for layer in qmodel.injectable_layers():
+        for category, n_ops in layer.op_counts.by_category().items():
+            if n_ops:
+                total += n_ops * cost_model.category_energy(category) * extra
+    return total

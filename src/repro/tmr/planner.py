@@ -1,0 +1,145 @@
+"""Fine-grained TMR planner (paper §4.1).
+
+The paper's heuristic, verbatim: select the most vulnerable layer by its
+layer-wise vulnerability factor, protect a randomly chosen *fraction* of
+that layer's operations (multiplications first, since §3.2.4 shows they are
+far more vulnerable), and iterate until the accuracy goal is met.
+
+Random fractional protection is realized as Poisson thinning of the fault
+rate (see :mod:`repro.faultsim.protection`), so the planner works directly
+with the Monte-Carlo campaign machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faultsim.campaign import CampaignConfig, run_point
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.qmodel import QuantizedModel
+from repro.tmr.cost import OpCostModel, tmr_overhead_energy
+from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
+
+__all__ = ["TmrPlanResult", "plan_tmr"]
+
+
+@dataclass
+class TmrPlanResult:
+    """Outcome of one TMR planning run."""
+
+    plan: ProtectionPlan
+    achieved_accuracy: float
+    overhead_energy: float
+    target_accuracy: float
+    ber: float
+    iterations: int
+    converged: bool
+    history: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "target_accuracy": self.target_accuracy,
+            "achieved_accuracy": self.achieved_accuracy,
+            "overhead_energy": self.overhead_energy,
+            "ber": self.ber,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "fractions": {
+                f"{layer}/{cat}": frac
+                for (layer, cat), frac in sorted(self.plan.fractions.items())
+                if frac > 0
+            },
+        }
+
+
+def _layer_categories(layer, mul_first: bool) -> list[str]:
+    """Categories of a layer in protection-priority order."""
+    present = {cat for cat, n in layer.op_counts.by_category().items() if n}
+    muls = [c for c in MUL_CATEGORIES if c in present]
+    adds = [c for c in ADD_CATEGORIES if c in present]
+    return muls + adds if mul_first else adds + muls
+
+
+def _next_increment(
+    qmodel: QuantizedModel,
+    plan: ProtectionPlan,
+    ranking: list[tuple[str, float]],
+    step: float,
+) -> bool:
+    """Raise protection of the most vulnerable not-yet-saturated layer.
+
+    Multiplication categories are filled before addition categories within
+    each layer.  Returns False when every (layer, category) is saturated.
+    """
+    by_name = {layer.name: layer for layer in qmodel.injectable_layers()}
+    for layer_name, _vf in ranking:
+        layer = by_name[layer_name]
+        for category in _layer_categories(layer, mul_first=True):
+            current = plan.fraction(layer_name, category)
+            if current < 1.0 - 1e-9:
+                plan.set(layer_name, category, min(1.0, current + step))
+                return True
+    return False
+
+
+def plan_tmr(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    target_accuracy: float,
+    vulnerability_ranking: list[tuple[str, float]],
+    config: CampaignConfig | None = None,
+    cost_model: OpCostModel | None = None,
+    step: float = 0.25,
+    initial_plan: ProtectionPlan | None = None,
+    max_iterations: int = 400,
+) -> TmrPlanResult:
+    """Grow a protection plan until ``target_accuracy`` is reached at ``ber``.
+
+    Parameters
+    ----------
+    vulnerability_ranking:
+        ``(layer, vulnerability_factor)`` pairs, most vulnerable first.
+        Passing a ranking measured on a *different* execution mode is how
+        the fault-tolerance-unaware scheme (WG-Conv-W/O-AFT) is realized.
+    step:
+        Protection-fraction increment per iteration.
+    initial_plan:
+        Starting plan (copied); used to warm-start scheme comparisons.
+    """
+    if not 0.0 < target_accuracy <= 1.0:
+        raise ConfigurationError(f"bad target accuracy {target_accuracy}")
+    config = config or CampaignConfig()
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    plan = initial_plan.copy() if initial_plan is not None else ProtectionPlan()
+
+    history: list[dict] = []
+    converged = False
+    accuracy = 0.0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        point = run_point(qmodel, x, labels, ber, config=config, protection=plan)
+        accuracy = point.mean_accuracy
+        overhead = tmr_overhead_energy(qmodel, plan, cost_model)
+        history.append({"iteration": iterations, "accuracy": accuracy, "overhead": overhead})
+        if accuracy >= target_accuracy:
+            converged = True
+            break
+        if not _next_increment(qmodel, plan, vulnerability_ranking, step):
+            break  # everything protected; cannot do better
+
+    return TmrPlanResult(
+        plan=plan,
+        achieved_accuracy=accuracy,
+        overhead_energy=tmr_overhead_energy(qmodel, plan, cost_model),
+        target_accuracy=target_accuracy,
+        ber=ber,
+        iterations=iterations,
+        converged=converged,
+        history=history,
+    )

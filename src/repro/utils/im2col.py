@@ -1,0 +1,120 @@
+"""im2col / col2im and padding helpers for NCHW convolution.
+
+These are the workhorses of both the float training path (:mod:`repro.nn`)
+and the quantized direct-convolution path (:mod:`repro.quantized`).  The
+im2col layout is chosen so that the reduction axis enumerates ``(c, r, s)``
+in C-major order — the *canonical accumulation order* that the operation-
+level fault injector assumes when it reconstructs partial sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["conv_output_size", "pad_nchw", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: int | tuple[int, int]) -> np.ndarray:
+    """Zero-pad the spatial dims of an NCHW array."""
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW array, got ndim={x.ndim}")
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Unfold NCHW input into convolution columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        Kernel spatial size ``(R, S)``.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+
+    Returns
+    -------
+    Array of shape ``(N, C * R * S, P * Q)`` where ``(P, Q)`` is the output
+    spatial size.  The reduction axis is ordered ``c`` major, then ``r``,
+    then ``s`` — the canonical accumulation order for fault injection.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW array, got ndim={x.ndim}")
+    n, c, h, w = x.shape
+    r, s = kernel
+    p = conv_output_size(h, r, stride, padding)
+    q = conv_output_size(w, s, stride, padding)
+    xp = pad_nchw(x, padding)
+
+    # Gather all (r, s) shifted views with stride tricks, then reorder.
+    shape = (n, c, r, s, p, q)
+    strides = (
+        xp.strides[0],
+        xp.strides[1],
+        xp.strides[2],
+        xp.strides[3],
+        xp.strides[2] * stride,
+        xp.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+    return np.ascontiguousarray(patches).reshape(n, c * r * s, p * q)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold convolution columns back into an NCHW array (adjoint of im2col).
+
+    Overlapping contributions are summed, which makes this the correct
+    gradient operator for :func:`im2col` during backpropagation.
+    """
+    n, c, h, w = input_shape
+    r, s = kernel
+    p = conv_output_size(h, r, stride, padding)
+    q = conv_output_size(w, s, stride, padding)
+    if cols.shape != (n, c * r * s, p * q):
+        raise ShapeError(
+            f"cols shape {cols.shape} does not match expected "
+            f"{(n, c * r * s, p * q)}"
+        )
+
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, r, s, p, q)
+    for i in range(r):
+        i_max = i + stride * p
+        for j in range(s):
+            j_max = j + stride * q
+            out[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
+    if padding == 0:
+        return out
+    return out[:, :, padding : padding + h, padding : padding + w]

@@ -1,0 +1,38 @@
+"""Small integer-math helpers used across the accelerator and fault models."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["ceil_div", "ilog2", "next_pow2", "prod"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a positive power of two."""
+    if x <= 0 or (x & (x - 1)) != 0:
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def next_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (with ``next_pow2(0) == 1``)."""
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x <= 1:
+        return 1
+    return 1 << (x - 1).bit_length()
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for an empty iterable)."""
+    return math.prod(values)

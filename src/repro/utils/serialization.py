@@ -1,0 +1,62 @@
+"""JSON / NPZ persistence helpers for experiment results and model weights.
+
+Experiment drivers cache intermediate results (trained weights, campaign
+accuracy curves) under ``results/`` so that re-running a benchmark does not
+re-train the model zoo.  All formats are plain JSON / NumPy ``.npz`` so they
+stay inspectable without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_npz_state", "load_npz_state"]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def save_json(path: str | Path, payload: Any) -> Path:
+    """Write ``payload`` as pretty-printed JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, cls=_NumpyJSONEncoder)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
+    """Persist a flat ``name -> ndarray`` state dict as a compressed npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_npz_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a state dict written by :func:`save_npz_state`."""
+    with np.load(path) as data:
+        return {name: data[name] for name in data.files}

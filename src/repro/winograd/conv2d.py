@@ -1,0 +1,239 @@
+"""2-D Winograd convolution kernels (float reference and integer-exact).
+
+Two entry points:
+
+* :func:`winograd_conv2d_float` — float64/float32 reference used by the
+  float training framework's inference checks and by tests.
+* :class:`WinogradConvContext` + :func:`winograd_conv2d_int` — the
+  integer-exact pipeline used by quantized inference.  It exposes every
+  intermediate (transformed inputs ``U``, transformed weights ``V``,
+  products/accumulated ``M`` and scaled output ``Y_int``) so the
+  operation-level fault injector can flip bits in any of them.
+
+Both support unit stride with ``r x r`` kernels for any supported tile size;
+larger kernels and strides are handled one level up by the DWM decomposition
+(:mod:`repro.winograd.decompose`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.im2col import conv_output_size, pad_nchw
+from repro.winograd.tiling import TileGrid, assemble_tiles, extract_tiles
+from repro.winograd.transforms import WinogradTransform, get_transform
+
+__all__ = [
+    "transform_filter_float",
+    "transform_filter_int",
+    "winograd_conv2d_float",
+    "WinogradConvContext",
+    "winograd_conv2d_int",
+]
+
+
+def transform_filter_float(weight: np.ndarray, tf: WinogradTransform) -> np.ndarray:
+    """Compute ``G g G^T`` for every filter: (K, C, r, r) -> (K, C, t, t)."""
+    g = tf.g
+    return np.einsum("ij,kcjl,ml->kcim", g, weight, g, optimize=True)
+
+
+def transform_filter_int(weight_int: np.ndarray, tf: WinogradTransform) -> np.ndarray:
+    """Integer filter transform ``G_int g G_int^T``; scale is ``g_scale**2``."""
+    g = tf.g_int
+    out = np.einsum("ij,kcjl,ml->kcim", g, weight_int.astype(np.int64), g)
+    return out.astype(np.int64)
+
+
+def _check_conv_args(x: np.ndarray, weight: np.ndarray) -> tuple[int, int]:
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError("expected NCHW input and KCRS weight")
+    if x.shape[1] != weight.shape[1]:
+        raise ShapeError(
+            f"channel mismatch: input C={x.shape[1]}, weight C={weight.shape[1]}"
+        )
+    r, s = weight.shape[2], weight.shape[3]
+    if r != s:
+        raise ShapeError(f"winograd kernel must be square, got {r}x{s}")
+    return r, s
+
+
+def winograd_conv2d_float(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    padding: int = 0,
+    m: int = 2,
+) -> np.ndarray:
+    """Float Winograd convolution ``F(m x m, r x r)``, unit stride.
+
+    Parameters
+    ----------
+    x:
+        Input activations, shape ``(N, C, H, W)``.
+    weight:
+        Filters, shape ``(K, C, r, r)``.
+    bias:
+        Optional per-output-channel bias, shape ``(K,)``.
+    padding:
+        Symmetric zero padding.
+    m:
+        Winograd output-tile size.
+    """
+    r, _ = _check_conv_args(x, weight)
+    tf = get_transform(m, r)
+    n, c, h, w = x.shape
+    k = weight.shape[0]
+    out_h = conv_output_size(h, r, 1, padding)
+    out_w = conv_output_size(w, r, 1, padding)
+    grid = TileGrid(out_h, out_w, tf.m, tf.r)
+
+    xp = pad_nchw(x.astype(np.float64, copy=False), padding)
+    tiles = extract_tiles(xp, grid)  # (N, C, T, t, t)
+
+    bt = tf.bt
+    u = np.einsum("ij,nctjl,ml->nctim", bt, tiles, bt, optimize=True)
+    v = transform_filter_float(weight.astype(np.float64, copy=False), tf)
+    # M[n,k,T,i,j] = sum_c U[n,c,T,i,j] * V[k,c,i,j]
+    m_arr = np.einsum("nctij,kcij->nktij", u, v, optimize=True)
+    at = tf.at
+    y_tiles = np.einsum("ui,nktij,vj->nktuv", at, m_arr, at, optimize=True)
+    y = assemble_tiles(y_tiles, grid)
+    if bias is not None:
+        y = y + bias.reshape(1, k, 1, 1)
+    return y
+
+
+def _channel_reduce(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Compute ``M[n,k,T,i,j] = sum_c U[n,c,T,i,j] * V[k,c,i,j]`` exactly.
+
+    This is the arithmetic bottleneck of the integer path.  When every
+    partial sum provably fits a float64 mantissa (checked from the *actual*
+    magnitudes, not worst-case bounds), the reduction runs as a batched BLAS
+    matmul in float64 — exact and an order of magnitude faster than the
+    int64 einsum fallback.
+    """
+    n, c, t_count, th, tw = u.shape
+    k = v.shape[0]
+    u_max = int(np.abs(u).max(initial=0))
+    v_max = int(np.abs(v).max(initial=0))
+    exact_in_f64 = u_max * v_max * c < 2**52
+
+    # Layout: (t*t, C, N*T) and (t*t, K, C) -> (t*t, K, N*T)
+    u_r = u.transpose(3, 4, 1, 0, 2).reshape(th * tw, c, n * t_count)
+    v_r = v.transpose(2, 3, 0, 1).reshape(th * tw, k, c)
+    if exact_in_f64:
+        m_r = np.matmul(v_r.astype(np.float64), u_r.astype(np.float64))
+        m_r = np.rint(m_r).astype(np.int64)
+    else:
+        m_r = np.matmul(v_r, u_r)  # int64 matmul: exact, slower
+    return (
+        m_r.reshape(th, tw, k, n, t_count)
+        .transpose(3, 2, 4, 0, 1)
+        .copy()
+    )
+
+
+@dataclass
+class WinogradConvContext:
+    """Every intermediate of one integer Winograd convolution.
+
+    The fault injector consumes this to (a) look up operand values at
+    sampled fault sites and (b) add fault deltas in the appropriate domain.
+
+    Attributes
+    ----------
+    transform:
+        The ``F(m, r)`` bundle used.
+    grid:
+        Tile geometry.
+    u_int:
+        Transformed input ``B^T d B`` (integer), shape ``(N, C, T, t, t)``;
+        scale ``bt_scale**2`` relative to raw input integers.
+    v_int:
+        Transformed filters (integer), shape ``(K, C, t, t)``; scale
+        ``g_scale**2`` relative to raw weight integers.
+    m_int:
+        Channel-accumulated element-wise products, shape ``(N, K, T, t, t)``.
+    y_int:
+        Scaled integer output accumulator (before bias/requantization),
+        shape ``(N, K, out_h, out_w)``; scale ``output_scale_2d`` relative
+        to the direct convolution accumulator domain.
+    """
+
+    transform: WinogradTransform
+    grid: TileGrid
+    u_int: np.ndarray
+    v_int: np.ndarray
+    m_int: np.ndarray
+    y_int: np.ndarray
+
+    @property
+    def y_tiles_shape(self) -> tuple[int, int, int, int, int]:
+        """Shape of the output in tile layout ``(N, K, T, m, m)``."""
+        n, k = self.y_int.shape[0], self.y_int.shape[1]
+        return (n, k, self.grid.num_tiles, self.grid.m, self.grid.m)
+
+
+def winograd_conv2d_int(
+    x_int: np.ndarray,
+    v_int: np.ndarray,
+    padding: int = 0,
+    m: int = 2,
+    r: int = 3,
+    keep_intermediates: bool = True,
+) -> WinogradConvContext:
+    """Integer-exact Winograd convolution on quantized values.
+
+    Parameters
+    ----------
+    x_int:
+        Quantized input activations (stored integers), ``(N, C, H, W)``.
+    v_int:
+        Pre-transformed integer filters from :func:`transform_filter_int`,
+        shape ``(K, C, t, t)``.
+    padding:
+        Symmetric zero padding.
+    m, r:
+        Tile and filter sizes (must match how ``v_int`` was produced).
+    keep_intermediates:
+        When False, ``u_int``/``m_int`` are not retained (saves memory when
+        no fault injection is requested).
+
+    Returns
+    -------
+    A :class:`WinogradConvContext`; ``ctx.y_int`` is exactly
+    ``output_scale_2d`` times the direct-convolution integer accumulator.
+    """
+    tf = get_transform(m, r)
+    n, c, h, w = x_int.shape
+    k = v_int.shape[0]
+    if v_int.shape[1] != c or v_int.shape[2] != tf.t or v_int.shape[3] != tf.t:
+        raise ShapeError(
+            f"v_int shape {v_int.shape} incompatible with C={c}, t={tf.t}"
+        )
+    out_h = conv_output_size(h, r, 1, padding)
+    out_w = conv_output_size(w, r, 1, padding)
+    grid = TileGrid(out_h, out_w, tf.m, tf.r)
+
+    xp = pad_nchw(np.asarray(x_int, dtype=np.int64), padding)
+    tiles = extract_tiles(xp, grid)
+
+    bt = tf.bt_int
+    u = np.einsum("ij,nctjl,ml->nctim", bt, tiles, bt)
+    m_arr = _channel_reduce(u, np.asarray(v_int, dtype=np.int64))
+    at = tf.at_int
+    y_tiles = np.einsum("ui,nktij,vj->nktuv", at, m_arr, at)
+    y = assemble_tiles(y_tiles, grid)
+
+    return WinogradConvContext(
+        transform=tf,
+        grid=grid,
+        u_int=u if keep_intermediates else None,
+        v_int=v_int,
+        m_int=m_arr if keep_intermediates else None,
+        y_int=y,
+    )

@@ -1,0 +1,178 @@
+"""Exact Cook–Toom construction of Winograd minimal-filtering transforms.
+
+``F(m, r)`` computes ``m`` outputs of a length-``r`` correlation using only
+``n = m + r - 1`` multiplications via
+
+    Y = A^T [ (G g) ⊙ (B^T d) ]
+
+The construction follows the transposition principle: Toom–Cook polynomial
+multiplication of a degree-(m-1) by a degree-(r-1) polynomial evaluates both
+at ``n - 1`` finite points plus the point at infinity and interpolates; the
+*correlation* operator is the transpose of the linear-convolution operator,
+which yields
+
+    A^T = E_m^T          (evaluation matrix of the length-m polynomial)
+    G   = E_r            (evaluation matrix of the length-r polynomial)
+    B^T = (V^T)^{-1}     (transposed-inverse of the interpolation Vandermonde)
+
+All arithmetic is exact over :class:`fractions.Fraction`, so the resulting
+matrices are suitable for the integer-exact quantized Winograd path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import TransformError
+
+__all__ = [
+    "default_points",
+    "cook_toom_1d",
+    "fraction_matrix_inverse",
+    "scale_to_integer",
+]
+
+#: Interpolation points in the order they are consumed.  Chosen to keep the
+#: magnitudes of transform entries small (the standard Winograd point
+#: schedule: 0, ±1, ±2, ±1/2, ±4, ±1/4, ...).
+_POINT_SCHEDULE: tuple[Fraction, ...] = (
+    Fraction(0),
+    Fraction(1),
+    Fraction(-1),
+    Fraction(2),
+    Fraction(-2),
+    Fraction(1, 2),
+    Fraction(-1, 2),
+    Fraction(4),
+    Fraction(-4),
+    Fraction(1, 4),
+    Fraction(-1, 4),
+    Fraction(8),
+    Fraction(-8),
+)
+
+
+def default_points(count: int) -> list[Fraction]:
+    """Return the first ``count`` interpolation points of the schedule."""
+    if count > len(_POINT_SCHEDULE):
+        raise TransformError(
+            f"no default schedule for {count} points; pass points explicitly"
+        )
+    return list(_POINT_SCHEDULE[:count])
+
+
+def _frac_matrix(rows: int, cols: int) -> list[list[Fraction]]:
+    return [[Fraction(0) for _ in range(cols)] for _ in range(rows)]
+
+
+def fraction_matrix_inverse(matrix: list[list[Fraction]]) -> list[list[Fraction]]:
+    """Exact inverse of a square Fraction matrix via Gauss–Jordan elimination."""
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise TransformError("matrix must be square")
+    # Augment with identity.
+    aug = [list(row) + [Fraction(int(i == j)) for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            raise TransformError("matrix is singular; interpolation points must be distinct")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [v / pivot for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def _evaluation_matrix(points: list[Fraction], degree_plus_one: int) -> list[list[Fraction]]:
+    """Rows evaluate a polynomial with ``degree_plus_one`` coefficients.
+
+    One row per finite point (``[1, a, a^2, ...]``) plus a final row for the
+    point at infinity that extracts the leading coefficient.
+    """
+    n = len(points) + 1
+    mat = _frac_matrix(n, degree_plus_one)
+    for i, a in enumerate(points):
+        value = Fraction(1)
+        for j in range(degree_plus_one):
+            mat[i][j] = value
+            value *= a
+    mat[n - 1][degree_plus_one - 1] = Fraction(1)
+    return mat
+
+
+def cook_toom_1d(
+    m: int,
+    r: int,
+    points: list[Fraction] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Construct exact transforms for ``F(m, r)``.
+
+    Parameters
+    ----------
+    m:
+        Number of outputs per tile (m >= 1).
+    r:
+        Filter tap count (r >= 1).
+    points:
+        Optional list of ``m + r - 2`` distinct finite interpolation points;
+        defaults to the standard low-magnitude schedule.
+
+    Returns
+    -------
+    ``(AT, G, BT)`` as object-dtype NumPy arrays of :class:`Fraction` with
+    shapes ``(m, n)``, ``(n, r)`` and ``(n, n)`` where ``n = m + r - 1``.
+    Satisfies ``Y = AT @ ((G @ g) * (BT @ d))`` exactly for the correlation
+    ``Y_i = sum_j g_j d_{i+j}``.
+    """
+    if m < 1 or r < 1:
+        raise TransformError(f"F(m, r) requires m, r >= 1, got m={m}, r={r}")
+    n = m + r - 1
+    if n == 1:
+        # Degenerate F(1, 1): a single multiplication.
+        one = np.array([[Fraction(1)]], dtype=object)
+        return one.copy(), one.copy(), one.copy()
+
+    pts = default_points(n - 1) if points is None else list(points)
+    if len(pts) != n - 1:
+        raise TransformError(f"need {n - 1} finite points for F({m}, {r}), got {len(pts)}")
+    if len(set(pts)) != len(pts):
+        raise TransformError("interpolation points must be distinct")
+
+    e_m = _evaluation_matrix(pts, m)  # (n, m)
+    e_r = _evaluation_matrix(pts, r)  # (n, r)
+    vandermonde = _evaluation_matrix(pts, n)  # (n, n), last row = infinity
+    v_inv = fraction_matrix_inverse(vandermonde)
+    # B^T = (V^T)^{-1} = (V^{-1})^T
+    bt = [[v_inv[j][i] for j in range(n)] for i in range(n)]
+
+    at = [[e_m[i][j] for i in range(n)] for j in range(m)]  # E_m^T: (m, n)
+
+    return (
+        np.array(at, dtype=object),
+        np.array(e_r, dtype=object),
+        np.array(bt, dtype=object),
+    )
+
+
+def scale_to_integer(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Scale a Fraction matrix to integers: returns ``(M_int, s)`` with ``M = M_int / s``.
+
+    ``s`` is the least common multiple of all entry denominators, so the
+    scaling is minimal and exact.
+    """
+    from math import lcm
+
+    denominators = [
+        entry.denominator for row in matrix for entry in row if entry != 0
+    ]
+    scale = lcm(*denominators) if denominators else 1
+    scaled = np.array(
+        [[int(entry * scale) for entry in row] for row in matrix],
+        dtype=np.int64,
+    )
+    return scaled, scale

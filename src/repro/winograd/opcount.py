@@ -1,0 +1,142 @@
+"""Primitive-operation counting for standard and Winograd convolution.
+
+The paper's analyses hinge on *how many* multiplications and additions each
+convolution executes (fault-site populations, TMR overhead, Fig. 3's
+per-layer multiply counts).  This module derives exact counts from the layer
+geometry and, for Winograd, from the structure of the transform matrices and
+the DWM decomposition.
+
+Counts are reported per the site taxonomy used by the fault injector:
+
+====================  ========================================================
+category              meaning
+====================  ========================================================
+``st_mul``            products in direct convolution / GEMM
+``st_add``            accumulator additions in direct convolution / GEMM
+``wg_input_add``      additions inside ``B^T d B``
+``wg_mul``            element-wise products in the transformed domain
+``wg_acc_add``        channel-reduction additions of transformed products
+``wg_output_add``     additions inside ``A^T M A`` plus sub-conv recombination
+====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.mathx import ceil_div
+from repro.winograd.decompose import decompose_conv
+from repro.winograd.transforms import get_transform
+
+__all__ = ["OpCounts", "standard_conv_counts", "winograd_conv_counts", "linear_counts"]
+
+MUL_CATEGORIES = ("st_mul", "wg_mul")
+ADD_CATEGORIES = ("st_add", "wg_input_add", "wg_acc_add", "wg_output_add")
+ALL_CATEGORIES = MUL_CATEGORIES + ADD_CATEGORIES
+
+
+@dataclass
+class OpCounts:
+    """Primitive-op census for one layer execution (per batch element)."""
+
+    st_mul: int = 0
+    st_add: int = 0
+    wg_input_add: int = 0
+    wg_mul: int = 0
+    wg_acc_add: int = 0
+    wg_output_add: int = 0
+    #: Offline filter-transform additions (not fault-injected at runtime,
+    #: reported for completeness and energy accounting).
+    wg_filter_add_offline: int = 0
+
+    @property
+    def muls(self) -> int:
+        """Total runtime multiplications."""
+        return self.st_mul + self.wg_mul
+
+    @property
+    def adds(self) -> int:
+        """Total runtime additions."""
+        return self.st_add + self.wg_input_add + self.wg_acc_add + self.wg_output_add
+
+    @property
+    def total(self) -> int:
+        """Total runtime primitive operations."""
+        return self.muls + self.adds
+
+    def by_category(self) -> dict[str, int]:
+        """Runtime counts keyed by fault-site category name."""
+        return {name: getattr(self, name) for name in ALL_CATEGORIES}
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            st_mul=self.st_mul + other.st_mul,
+            st_add=self.st_add + other.st_add,
+            wg_input_add=self.wg_input_add + other.wg_input_add,
+            wg_mul=self.wg_mul + other.wg_mul,
+            wg_acc_add=self.wg_acc_add + other.wg_acc_add,
+            wg_output_add=self.wg_output_add + other.wg_output_add,
+            wg_filter_add_offline=self.wg_filter_add_offline
+            + other.wg_filter_add_offline,
+        )
+
+
+def standard_conv_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel: tuple[int, int],
+    out_size: tuple[int, int],
+    bias: bool = True,
+) -> OpCounts:
+    """Op census for a direct (im2col/GEMM) convolution, per image."""
+    r, s = kernel
+    p, q = out_size
+    reduction = in_channels * r * s
+    outputs = out_channels * p * q
+    return OpCounts(
+        st_mul=outputs * reduction,
+        st_add=outputs * (reduction - 1 + (1 if bias else 0)),
+    )
+
+
+def winograd_conv_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel: tuple[int, int],
+    stride: int,
+    out_size: tuple[int, int],
+    m: int = 2,
+    bias: bool = True,
+) -> OpCounts:
+    """Op census for a (possibly DWM-decomposed) Winograd convolution.
+
+    Every 3x3 unit-stride piece of the decomposition runs ``F(m, 3)``; the
+    piece outputs are recombined with one addition per output per extra
+    piece (counted under ``wg_output_add``).
+    """
+    p, q = out_size
+    tf = get_transform(m, 3)
+    tiles = ceil_div(p, tf.m) * ceil_div(q, tf.m)
+    pieces = decompose_conv(kernel, stride)
+
+    counts = OpCounts()
+    c, k = in_channels, out_channels
+    for _ in pieces:
+        counts.wg_input_add += c * tiles * tf.input_transform_adds_per_tile()
+        counts.wg_mul += k * c * tiles * tf.ewise_muls_per_tile()
+        counts.wg_acc_add += k * (c - 1) * tiles * tf.ewise_muls_per_tile()
+        counts.wg_output_add += k * tiles * tf.output_transform_adds_per_tile()
+        counts.wg_filter_add_offline += k * c * tf.filter_transform_adds()
+    # Recombine piece outputs, then add bias.
+    counts.wg_output_add += (len(pieces) - 1) * k * p * q
+    if bias:
+        counts.wg_output_add += k * p * q
+    return counts
+
+
+def linear_counts(in_features: int, out_features: int, bias: bool = True) -> OpCounts:
+    """Op census for a fully-connected layer (always executed directly)."""
+    return OpCounts(
+        st_mul=out_features * in_features,
+        st_add=out_features * (in_features - 1 + (1 if bias else 0)),
+    )

@@ -1,0 +1,125 @@
+"""Tile extraction and assembly for 2-D Winograd convolution.
+
+``F(m x m, r x r)`` processes the padded input in overlapping ``t x t``
+tiles (``t = m + r - 1``) with stride ``m`` and produces non-overlapping
+``m x m`` output tiles.  The helpers here convert between NCHW feature maps
+and the ``(N, C, T, t, t)`` tile layout used by the convolution kernels,
+handling edge padding so that any output size is supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.mathx import ceil_div
+
+__all__ = ["TileGrid", "extract_tiles", "assemble_tiles"]
+
+
+class TileGrid:
+    """Geometry of the Winograd tile decomposition for one layer.
+
+    Parameters
+    ----------
+    out_h, out_w:
+        Output spatial size of the convolution.
+    m:
+        Winograd output-tile size.
+    r:
+        Filter size (input tiles are ``t = m + r - 1`` wide).
+    """
+
+    def __init__(self, out_h: int, out_w: int, m: int, r: int):
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"output size must be positive, got {out_h}x{out_w}")
+        self.out_h = out_h
+        self.out_w = out_w
+        self.m = m
+        self.r = r
+        self.t = m + r - 1
+        self.tiles_h = ceil_div(out_h, m)
+        self.tiles_w = ceil_div(out_w, m)
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles per (image, channel)."""
+        return self.tiles_h * self.tiles_w
+
+    @property
+    def padded_in_h(self) -> int:
+        """Input height after edge padding to a whole number of tiles."""
+        return (self.tiles_h - 1) * self.m + self.t
+
+    @property
+    def padded_in_w(self) -> int:
+        """Input width after edge padding to a whole number of tiles."""
+        return (self.tiles_w - 1) * self.m + self.t
+
+    def tile_origin(self, tile_index: int) -> tuple[int, int]:
+        """Top-left output coordinate covered by flat ``tile_index``."""
+        th, tw = divmod(tile_index, self.tiles_w)
+        return th * self.m, tw * self.m
+
+    def __repr__(self) -> str:
+        return (
+            f"TileGrid(out={self.out_h}x{self.out_w}, m={self.m}, r={self.r}, "
+            f"tiles={self.tiles_h}x{self.tiles_w})"
+        )
+
+
+def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Cut an already-padded NCHW input into overlapping ``t x t`` tiles.
+
+    ``x`` must include the convolution's own zero padding; this function adds
+    only the right/bottom edge padding needed to complete partial tiles.
+
+    Returns an array of shape ``(N, C, T, t, t)`` where ``T = grid.num_tiles``.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW input, got ndim={x.ndim}")
+    n, c, h, w = x.shape
+    need_h = grid.padded_in_h
+    need_w = grid.padded_in_w
+    if h > need_h or w > need_w:
+        raise ShapeError(
+            f"input {h}x{w} larger than tile grid expects ({need_h}x{need_w})"
+        )
+    if h < need_h or w < need_w:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (0, need_h - h), (0, need_w - w)),
+            mode="constant",
+        )
+
+    m, t = grid.m, grid.t
+    shape = (n, c, grid.tiles_h, grid.tiles_w, t, t)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * m,
+        x.strides[3] * m,
+        x.strides[2],
+        x.strides[3],
+    )
+    tiles = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return np.ascontiguousarray(tiles).reshape(n, c, grid.num_tiles, t, t)
+
+
+def assemble_tiles(tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Reassemble ``(N, K, T, m, m)`` output tiles into NCHW, cropping overhang."""
+    if tiles.ndim != 5:
+        raise ShapeError(f"expected (N, K, T, m, m) tiles, got ndim={tiles.ndim}")
+    n, k, num_tiles, m1, m2 = tiles.shape
+    if num_tiles != grid.num_tiles or m1 != grid.m or m2 != grid.m:
+        raise ShapeError(
+            f"tile array {tiles.shape} does not match grid {grid!r}"
+        )
+    full_h = grid.tiles_h * grid.m
+    full_w = grid.tiles_w * grid.m
+    out = (
+        tiles.reshape(n, k, grid.tiles_h, grid.tiles_w, grid.m, grid.m)
+        .transpose(0, 1, 2, 4, 3, 5)
+        .reshape(n, k, full_h, full_w)
+    )
+    return np.ascontiguousarray(out[:, :, : grid.out_h, : grid.out_w])

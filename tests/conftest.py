@@ -1,0 +1,75 @@
+"""Shared fixtures: a tiny trained network and its quantized variants.
+
+The fixtures are session-scoped because training even a tiny NumPy network
+takes a few seconds; every consumer treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetSpec, make_dataset
+from repro.nn import Adam, GraphBuilder, TrainConfig, initialize, train
+from repro.quantized import QuantConfig, quantize_model
+
+
+def build_tiny_cnn(classes: int = 4) -> "Graph":
+    """A small conv net exercising conv/bn/relu/pool/linear paths."""
+    b = GraphBuilder("tinycnn", input_shape=(3, 16, 16))
+    x = b.conv2d(b.input_node, 8, kernel=3, padding=1, name="c1")
+    x = b.batchnorm2d(x, name="b1")
+    x = b.relu(x, name="r1")
+    x = b.maxpool2d(x, kernel=2, stride=2, name="p1")
+    x = b.conv2d(x, 16, kernel=3, padding=1, name="c2")
+    x = b.batchnorm2d(x, name="b2")
+    x = b.relu(x, name="r2")
+    x = b.globalavgpool(x, name="gap")
+    x = b.flatten(x, name="fl")
+    return b.output(b.linear(x, classes, name="fc"))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small, easy synthetic dataset (4 classes, 16x16)."""
+    spec = DatasetSpec(name="tiny", classes=4, image_size=16, noise=0.3, seed=7)
+    return make_dataset(spec, train_per_class=40, test_per_class=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained(tiny_dataset):
+    """A trained tiny CNN (accuracy > 0.9 on its test split)."""
+    graph = build_tiny_cnn()
+    initialize(graph, 0)
+    result = train(
+        graph,
+        Adam(graph, 3e-3),
+        tiny_dataset.train_x,
+        tiny_dataset.train_y,
+        tiny_dataset.test_x,
+        tiny_dataset.test_y,
+        TrainConfig(epochs=8, batch_size=32, target_accuracy=0.95),
+    )
+    assert result.final_eval_accuracy > 0.8, "fixture model failed to train"
+    return graph
+
+
+@pytest.fixture(scope="session")
+def tiny_quantized(tiny_trained, tiny_dataset):
+    """(standard, winograd) int16 quantizations of the tiny CNN."""
+    calib = tiny_dataset.train_x[:64]
+    qm_st = quantize_model(tiny_trained, calib, QuantConfig(width=16), "standard")
+    qm_wg = quantize_model(tiny_trained, calib, QuantConfig(width=16), "winograd")
+    return qm_st, qm_wg
+
+
+@pytest.fixture(scope="session")
+def tiny_eval(tiny_dataset):
+    """Evaluation split of the tiny dataset."""
+    return tiny_dataset.test_x, tiny_dataset.test_y
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

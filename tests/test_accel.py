@@ -1,0 +1,202 @@
+"""Tests for the accelerator models: timing, voltage, power, DVFS."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AccuracyCurve,
+    ArrayConfig,
+    Dataflow,
+    DNN_ENGINE,
+    DNN_ENGINE_POWER,
+    DNN_ENGINE_VBER,
+    GemmShape,
+    PowerModel,
+    VoltageBerModel,
+    gemm_timing,
+    min_voltage_for_accuracy,
+    scheme_energies,
+    simulate_network,
+)
+from repro.errors import ConfigurationError, MappingError
+
+
+class TestArrayConfig:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            ArrayConfig(rows=0)
+
+    def test_rejects_bad_dataflow(self):
+        with pytest.raises(ConfigurationError):
+            ArrayConfig(dataflow="systolic-magic")
+
+
+class TestGemmTiming:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MappingError):
+            GemmShape(0, 1, 1)
+
+    @pytest.mark.parametrize("dataflow", Dataflow.ALL)
+    def test_cycles_positive_and_scale_with_work(self, dataflow):
+        config = ArrayConfig(rows=8, cols=8, dataflow=dataflow)
+        small = gemm_timing(GemmShape(16, 16, 16), config)
+        large = gemm_timing(GemmShape(64, 64, 64), config)
+        assert 0 < small.cycles < large.cycles
+
+    def test_ws_fold_count(self):
+        config = ArrayConfig(rows=8, cols=8, dataflow=Dataflow.WEIGHT_STATIONARY)
+        timing = gemm_timing(GemmShape(m=10, k=32, n=24), config)
+        assert timing.folds == 4 * 3
+
+    def test_macs(self):
+        assert GemmShape(2, 3, 4).macs == 24
+
+    def test_bigger_array_fewer_cycles(self):
+        shape = GemmShape(128, 128, 128)
+        small = gemm_timing(shape, ArrayConfig(rows=8, cols=8))
+        big = gemm_timing(shape, ArrayConfig(rows=32, cols=32))
+        assert big.cycles < small.cycles
+
+
+class TestNetworkSimulation:
+    def test_winograd_faster_than_standard(self):
+        """The premise of the paper's energy study on our simulator.
+
+        Measured on a conv stack whose channel counts fill the array's
+        reduction dimension (3-channel stem layers genuinely favor direct
+        execution — real Winograd engines skip them too).
+        """
+        from repro.nn import GraphBuilder, initialize
+        from repro.quantized import QuantConfig, quantize_model
+
+        b = GraphBuilder("deep", (32, 16, 16))
+        x = b.conv2d(b.input_node, 32, 3, padding=1, name="c1")
+        x = b.relu(x)
+        x = b.conv2d(x, 32, 3, padding=1, name="c2")
+        b.output(b.flatten(x))
+        g = b.graph
+        initialize(g, 0)
+        calib = np.random.default_rng(0).standard_normal((8, 32, 16, 16)).astype(
+            np.float32
+        )
+        qm_st = quantize_model(g, calib, QuantConfig(width=16), "standard")
+        qm_wg = quantize_model(g, calib, QuantConfig(width=16), "winograd")
+        t_st = simulate_network(qm_st, DNN_ENGINE, batch=16)
+        t_wg = simulate_network(qm_wg, DNN_ENGINE, batch=16)
+        assert t_wg.total_cycles < t_st.total_cycles
+
+    def test_per_image_amortization(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        timing = simulate_network(qm_st, DNN_ENGINE, batch=8)
+        assert timing.cycles_per_image == timing.total_cycles / 8
+
+    def test_layer_kinds_assigned(self, tiny_quantized):
+        qm_st, qm_wg = tiny_quantized
+        kinds_st = {l.kind for l in simulate_network(qm_st).layers}
+        kinds_wg = {l.kind for l in simulate_network(qm_wg).layers}
+        assert "conv-direct" in kinds_st and "linear" in kinds_st
+        assert "conv-winograd" in kinds_wg
+
+    def test_runtime_seconds(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        timing = simulate_network(qm_st)
+        assert timing.runtime_seconds(667e6) == pytest.approx(
+            timing.total_cycles / 667e6
+        )
+
+    def test_serializable(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        payload = simulate_network(qm_st).to_dict()
+        assert payload["total_cycles"] > 0 and payload["layers"]
+
+
+class TestVoltageBer:
+    def test_monotone_decreasing_in_voltage(self):
+        bers = [DNN_ENGINE_VBER.ber(v) for v in np.linspace(0.71, 0.89, 10)]
+        assert all(a >= b for a, b in zip(bers, bers[1:]))
+
+    def test_calibration_points(self):
+        assert DNN_ENGINE_VBER.ber(0.77) == pytest.approx(1e-8, rel=0.01)
+        assert DNN_ENGINE_VBER.ber(0.82) == pytest.approx(1e-12, rel=0.05)
+
+    def test_voltage_for_ber_inverts(self):
+        v = DNN_ENGINE_VBER.voltage_for_ber(1e-10)
+        assert DNN_ENGINE_VBER.ber(v) == pytest.approx(1e-10, rel=0.05)
+
+    def test_out_of_range_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DNN_ENGINE_VBER.ber(1.5)
+
+    def test_sweep_covers_range(self):
+        sweep = DNN_ENGINE_VBER.sweep(5)
+        assert sweep[0][0] == pytest.approx(DNN_ENGINE_VBER.v_min)
+        assert sweep[-1][0] == pytest.approx(DNN_ENGINE_VBER.v_max)
+
+
+class TestPowerModel:
+    def test_power_decreases_with_voltage(self):
+        assert DNN_ENGINE_POWER.power(0.7) < DNN_ENGINE_POWER.power(0.9)
+
+    def test_dynamic_scales_quadratically(self):
+        lean = PowerModel(p_leakage_w=0.0)
+        assert lean.power(0.45) == pytest.approx(lean.power(0.9) / 4)
+
+    def test_energy_linear_in_cycles(self):
+        e1 = DNN_ENGINE_POWER.energy(0.9, 1000)
+        e2 = DNN_ENGINE_POWER.energy(0.9, 2000)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ConfigurationError):
+            DNN_ENGINE_POWER.power(0.0)
+
+
+class TestAccuracyCurveAndDvfs:
+    def _curve(self, cliff_ber=1e-9, floor=0.1):
+        bers = np.logspace(-12, -6, 13)
+        accs = np.where(bers < cliff_ber, 0.9, floor)
+        return AccuracyCurve(bers, accs, fault_free_accuracy=0.9)
+
+    def test_below_range_gives_fault_free(self):
+        assert self._curve().accuracy_at(1e-15) == 0.9
+
+    def test_interpolates_in_log_space(self):
+        curve = AccuracyCurve([1e-10, 1e-8], [0.9, 0.5], 0.9)
+        assert curve.accuracy_at(1e-9) == pytest.approx(0.7)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            AccuracyCurve([1e-9, -1e-8], [0.5, 0.5], 0.9)
+
+    def test_min_voltage_respects_floor(self):
+        curve = self._curve(cliff_ber=1e-9)
+        vber = VoltageBerModel()
+        v, feasible = min_voltage_for_accuracy(curve, 0.85, vber)
+        assert feasible
+        assert curve.accuracy_at(vber.ber(v)) >= 0.85
+        # A tolerant floor allows deeper scaling.
+        v_loose, _ = min_voltage_for_accuracy(curve, 0.05, vber)
+        assert v_loose <= v
+
+    def test_scheme_energy_ordering(self):
+        """Aware winograd must be cheapest; baseline most expensive."""
+        curve_st = self._curve(cliff_ber=1e-9)
+        curve_wg = self._curve(cliff_ber=1e-8)  # more tolerant
+        points = scheme_energies(
+            curve_st, curve_wg,
+            cycles_standard=1000, cycles_winograd=600,
+            accuracy_loss=0.03,
+        )
+        assert points["WG-Conv-W/AFT"].energy_joules <= points[
+            "WG-Conv-W/O-AFT"
+        ].energy_joules
+        assert points["WG-Conv-W/O-AFT"].energy_joules <= points[
+            "ST-Conv"
+        ].energy_joules
+        assert points["ST-Conv"].energy_joules <= points["Base"].energy_joules
+
+    def test_winograd_voltage_at_or_below_standard(self):
+        curve_st = self._curve(cliff_ber=1e-9)
+        curve_wg = self._curve(cliff_ber=1e-8)
+        points = scheme_energies(curve_st, curve_wg, 1000, 600, 0.03)
+        assert points["WG-Conv-W/AFT"].voltage <= points["ST-Conv"].voltage

@@ -1,0 +1,170 @@
+"""Tests for vulnerability analysis and the TMR subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import layer_vulnerability, operation_type_sensitivity
+from repro.faultsim import CampaignConfig, ProtectionPlan
+from repro.tmr import (
+    OpCostModel,
+    SCHEME_ST,
+    SCHEME_WG_W_AFT,
+    SCHEME_WG_WO_AFT,
+    average_reduction,
+    full_protection_energy,
+    map_plan_to_winograd,
+    normalized_overheads,
+    plan_tmr,
+    run_tmr_schemes,
+    tmr_overhead_energy,
+)
+
+#: BER in the tiny model's cliff region (found empirically; the tiny CNN
+#: has ~4e6 exposed bits so this lands at a few hundred faults/inference).
+CLIFF_BER = 1e-4
+FAST = CampaignConfig(seeds=(0,), max_samples=32, batch_size=32)
+
+
+class TestVulnerability:
+    def test_report_structure(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        report = layer_vulnerability(qm_st, x[:32], y[:32], CLIFF_BER, config=FAST)
+        names = {lv.layer for lv in report.layers}
+        assert names == {l.name for l in qm_st.injectable_layers()}
+        assert report.to_dict()["ber"] == CLIFF_BER
+
+    def test_fault_free_layer_recovers_accuracy(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        report = layer_vulnerability(qm_st, x[:32], y[:32], CLIFF_BER, config=FAST)
+        assert max(lv.vulnerability_factor for lv in report.layers) >= 0
+
+    def test_ranked_is_descending(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        report = layer_vulnerability(qm_st, x[:32], y[:32], CLIFF_BER, config=FAST)
+        factors = [lv.vulnerability_factor for lv in report.ranked()]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_subset_of_layers(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        report = layer_vulnerability(
+            qm_st, x[:16], y[:16], CLIFF_BER, config=FAST, layers=["c1"]
+        )
+        assert len(report.layers) == 1
+
+
+class TestOpTypeSensitivity:
+    def test_mul_protection_dominates(self, tiny_quantized, tiny_eval):
+        """The paper's central Fig. 4 claim on our substrate."""
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        config = CampaignConfig(seeds=(0, 1), max_samples=48)
+        sens = operation_type_sensitivity(qm_st, x[:48], y[:48], CLIFF_BER, config=config)
+        assert sens.accuracy_muls_fault_free >= sens.accuracy_adds_fault_free
+        assert sens.mul_sensitivity >= 0
+
+    def test_serialization(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        sens = operation_type_sensitivity(qm_st, x[:16], y[:16], 1e-5, config=FAST)
+        assert "mul_sensitivity" in sens.to_dict()
+
+
+class TestCostModel:
+    def test_mul_more_expensive_than_add(self):
+        model = OpCostModel(width=16)
+        assert model.mul_energy() > model.add_energy()
+
+    def test_wider_ops_cost_more(self):
+        assert OpCostModel(width=16).mul_energy() > OpCostModel(width=8).mul_energy()
+
+    def test_overhead_zero_for_empty_plan(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        assert tmr_overhead_energy(qm_st, ProtectionPlan()) == 0.0
+
+    def test_overhead_monotone_in_fraction(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        half = ProtectionPlan()
+        full = ProtectionPlan()
+        for layer in qm_st.injectable_layers():
+            half.set(layer.name, "st_mul", 0.5)
+            full.set(layer.name, "st_mul", 1.0)
+        assert tmr_overhead_energy(qm_st, half) < tmr_overhead_energy(qm_st, full)
+
+    def test_full_protection_is_upper_bound(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        plan = ProtectionPlan()
+        for layer in qm_st.injectable_layers():
+            for cat, n in layer.op_counts.by_category().items():
+                if n:
+                    plan.set(layer.name, cat, 1.0)
+        assert tmr_overhead_energy(qm_st, plan) == pytest.approx(
+            full_protection_energy(qm_st)
+        )
+
+    def test_winograd_full_protection_cheaper(self, tiny_quantized):
+        """Fewer multiplications -> cheaper blanket TMR (the paper's
+        'much less operations to be protected')."""
+        qm_st, qm_wg = tiny_quantized
+        assert full_protection_energy(qm_wg) < full_protection_energy(qm_st)
+
+
+class TestPlanner:
+    def test_trivial_goal_converges_immediately(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        ranking = [(l.name, 1.0) for l in qm_st.injectable_layers()]
+        result = plan_tmr(
+            qm_st, x[:32], y[:32], ber=1e-9, target_accuracy=0.1,
+            vulnerability_ranking=ranking, config=FAST,
+        )
+        assert result.converged
+        assert result.overhead_energy == 0.0
+
+    def test_hard_goal_grows_protection(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        ranking = [(l.name, 1.0) for l in qm_st.injectable_layers()]
+        result = plan_tmr(
+            qm_st, x[:32], y[:32], ber=5e-4, target_accuracy=0.9,
+            vulnerability_ranking=ranking, config=FAST, step=0.5,
+        )
+        assert result.overhead_energy > 0
+        assert result.iterations > 1
+
+    def test_rejects_bad_goal(self, tiny_quantized, tiny_eval):
+        from repro.errors import ConfigurationError
+
+        qm_st, _ = tiny_quantized
+        x, y = tiny_eval
+        with pytest.raises(ConfigurationError):
+            plan_tmr(qm_st, x, y, 1e-6, 1.5, [], config=FAST)
+
+
+class TestSchemes:
+    def test_plan_mapping_transfers_fractions(self, tiny_quantized):
+        qm_st, qm_wg = tiny_quantized
+        st_plan = ProtectionPlan()
+        conv = qm_st.injectable_layers()[0].name
+        st_plan.set(conv, "st_mul", 0.75)
+        wg_plan = map_plan_to_winograd(st_plan, qm_wg)
+        assert wg_plan.fraction(conv, "wg_mul") == 0.75
+
+    def test_three_scheme_ordering(self, tiny_quantized, tiny_eval):
+        """WG-aware <= WG-unaware <= ST in overhead at matching goals."""
+        qm_st, qm_wg = tiny_quantized
+        x, y = tiny_eval
+        fault_free = qm_st.evaluate(x[:32], y[:32])
+        goals = [fault_free * 0.7, fault_free * 0.9]
+        curves = run_tmr_schemes(
+            qm_st, qm_wg, x[:32], y[:32], CLIFF_BER, goals,
+            config=FAST, step=0.5,
+        )
+        norm = normalized_overheads(curves)
+        for i in range(len(goals)):
+            assert norm[SCHEME_WG_W_AFT][i] <= norm[SCHEME_ST][i] + 1e-9
+        reductions = average_reduction(curves)
+        assert "vs ST-Conv" in reductions

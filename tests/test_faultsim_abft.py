@@ -1,0 +1,70 @@
+"""Tests for the ABFT checksum-detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.faultsim import (
+    AbftChecker,
+    NeuronLevelInjector,
+    OperationLevelInjector,
+    detection_coverage,
+)
+
+
+class TestNoFaults:
+    def test_no_false_positives_standard(self, tiny_quantized, tiny_eval):
+        """Fault-free inference must produce zero checksum mismatches —
+        the checksum identity is exact in integer arithmetic."""
+        qm_st, _ = tiny_quantized
+        x, _ = tiny_eval
+        report = detection_coverage(qm_st, x[:8], inner_injector=None)
+        assert report.total_detections == 0
+        assert sum(report.checked.values()) > 0
+
+    def test_no_false_positives_winograd(self, tiny_quantized, tiny_eval):
+        _, qm_wg = tiny_quantized
+        x, _ = tiny_eval
+        report = detection_coverage(qm_wg, x[:8], inner_injector=None)
+        assert report.total_detections == 0
+
+    def test_output_unchanged_by_checker(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, _ = tiny_eval
+        clean = qm_st.forward(x[:8])
+        checked = qm_st.forward(x[:8], injector=AbftChecker(None))
+        np.testing.assert_array_equal(clean, checked)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("mode_index", [0, 1])
+    def test_detects_operation_faults(self, tiny_quantized, tiny_eval, mode_index):
+        qm = tiny_quantized[mode_index]
+        x, _ = tiny_eval
+        inner = OperationLevelInjector(3e-4, seed=0)
+        report = detection_coverage(qm, x[:16], inner)
+        assert sum(inner.event_counts.values()) > 0
+        assert report.any_fault_detected
+
+    def test_detection_rate_bounded(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, _ = tiny_eval
+        report = detection_coverage(qm_st, x[:8], OperationLevelInjector(1e-4, seed=1))
+        for layer in report.checked:
+            assert 0.0 <= report.detection_rate(layer) <= 1.0
+
+    def test_neuron_faults_escape_accumulator_abft(self, tiny_quantized, tiny_eval):
+        """Post-requantization neuron flips are outside the GEMM checksum's
+        protection domain (a known ABFT limitation)."""
+        qm_st, _ = tiny_quantized
+        x, _ = tiny_eval
+        report = detection_coverage(qm_st, x[:8], NeuronLevelInjector(1e-4, seed=0))
+        assert report.total_detections == 0
+
+
+class TestReport:
+    def test_rates_and_totals_consistent(self, tiny_quantized, tiny_eval):
+        qm_st, _ = tiny_quantized
+        x, _ = tiny_eval
+        report = detection_coverage(qm_st, x[:8], OperationLevelInjector(3e-4, seed=2))
+        assert report.total_detections == sum(report.detections.values())
+        assert set(report.detections) <= set(report.checked)

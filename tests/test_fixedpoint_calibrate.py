@@ -1,0 +1,57 @@
+"""Tests for repro.fixedpoint.calibrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.fixedpoint import MinMaxObserver, PercentileObserver
+
+
+class TestMinMaxObserver:
+    def test_tracks_max_abs_across_calls(self):
+        obs = MinMaxObserver(width=16)
+        obs.observe(np.array([1.0, -3.0]))
+        obs.observe(np.array([2.0]))
+        assert obs.max_abs == 3.0
+
+    def test_derived_format_covers_range(self):
+        obs = MinMaxObserver(width=8)
+        obs.observe(np.array([5.5]))
+        fmt = obs.qformat()
+        assert fmt.max_value >= 5.5
+
+    def test_margin_expands_range(self):
+        plain = MinMaxObserver(width=8)
+        wide = MinMaxObserver(width=8, margin=4.0)
+        for obs in (plain, wide):
+            obs.observe(np.array([1.0]))
+        assert wide.qformat().frac <= plain.qformat().frac
+
+    def test_raises_without_data(self):
+        with pytest.raises(QuantizationError):
+            MinMaxObserver(width=8).qformat()
+
+    def test_empty_arrays_ignored(self):
+        obs = MinMaxObserver(width=8)
+        obs.observe(np.array([]))
+        with pytest.raises(QuantizationError):
+            obs.qformat()
+
+
+class TestPercentileObserver:
+    def test_ignores_outliers(self, rng):
+        obs = PercentileObserver(width=16, percentile=99.0)
+        data = rng.normal(0, 1, size=10_000)
+        data[0] = 1e6  # single outlier
+        obs.observe(data)
+        fmt = obs.qformat()
+        assert fmt.max_value < 100  # format not blown up by the outlier
+
+    def test_reservoir_bounded(self):
+        obs = PercentileObserver(width=16, reservoir_size=100)
+        obs.observe(np.ones(10_000))
+        assert obs._stored <= 100
+
+    def test_raises_without_data(self):
+        with pytest.raises(QuantizationError):
+            PercentileObserver(width=8).qformat()

@@ -1,0 +1,59 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.fixedpoint import QFormat
+
+
+class TestQFormatBasics:
+    def test_q16_limits(self):
+        fmt = QFormat(16, 8)
+        assert fmt.qmin == -32768
+        assert fmt.qmax == 32767
+        assert fmt.scale == pytest.approx(1 / 256)
+
+    def test_real_range(self):
+        fmt = QFormat(8, 4)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-128 / 16)
+
+    def test_negative_frac_allowed(self):
+        fmt = QFormat(8, -2)
+        assert fmt.scale == 4.0
+
+    @pytest.mark.parametrize("width", [0, 1, 64, 100])
+    def test_rejects_bad_width(self, width):
+        with pytest.raises(QuantizationError):
+            QFormat(width, 0)
+
+    def test_with_width_and_frac(self):
+        fmt = QFormat(16, 8)
+        assert fmt.with_width(8) == QFormat(8, 8)
+        assert fmt.with_frac(4) == QFormat(16, 4)
+
+    def test_str(self):
+        assert str(QFormat(16, 11)) == "Q16.11"
+
+
+class TestForMaxAbs:
+    def test_zero_gives_max_resolution(self):
+        fmt = QFormat.for_max_abs(8, 0.0)
+        assert fmt.frac == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(QuantizationError):
+            QFormat.for_max_abs(8, -1.0)
+
+    @given(
+        width=st.sampled_from([8, 16]),
+        max_abs=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+    )
+    def test_range_covers_and_is_tight(self, width, max_abs):
+        """The chosen format covers max_abs and one more frac bit would not."""
+        fmt = QFormat.for_max_abs(width, max_abs)
+        assert fmt.max_value >= max_abs
+        tighter = QFormat(width, fmt.frac + 1)
+        assert tighter.max_value < max_abs

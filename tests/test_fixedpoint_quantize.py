@@ -1,0 +1,99 @@
+"""Tests for repro.fixedpoint.quantize."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.fixedpoint import (
+    QFormat,
+    dequantize,
+    quantize,
+    requantize,
+    rescale_round,
+    saturate,
+)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_half_lsb(self, rng):
+        fmt = QFormat(16, 10)
+        x = rng.uniform(-20, 20, size=1000)
+        err = np.abs(dequantize(quantize(x, fmt), fmt) - x)
+        assert err.max() <= fmt.scale / 2 + 1e-12
+
+    def test_saturates_out_of_range(self):
+        fmt = QFormat(8, 0)
+        q = quantize(np.array([1e9, -1e9]), fmt)
+        assert q.tolist() == [127, -128]
+
+    def test_round_half_away_from_zero(self):
+        fmt = QFormat(8, 0)
+        q = quantize(np.array([0.5, -0.5, 1.5, -1.5]), fmt)
+        assert q.tolist() == [1, -1, 2, -2]
+
+    def test_zero_maps_to_zero(self):
+        assert quantize(np.zeros(3), QFormat(16, 12)).tolist() == [0, 0, 0]
+
+
+class TestSaturate:
+    def test_clamps(self):
+        fmt = QFormat(8, 0)
+        out = saturate(np.array([300, -300, 5]), fmt)
+        assert out.tolist() == [127, -128, 5]
+
+
+class TestRescaleRound:
+    def test_identity(self):
+        q = np.array([1, -5, 100], dtype=np.int64)
+        assert np.array_equal(rescale_round(q, Fraction(1)), q)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(QuantizationError):
+            rescale_round(np.array([1]), Fraction(0))
+
+    def test_half_away_rounding(self):
+        q = np.array([1, 3, -1, -3], dtype=np.int64)
+        out = rescale_round(q, Fraction(1, 2))
+        assert out.tolist() == [1, 2, -1, -2]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=st.integers(-(2**40), 2**40),
+        num=st.integers(1, 1000),
+        den=st.integers(1, 1000),
+    )
+    def test_matches_exact_fraction_arithmetic(self, value, num, den):
+        """rescale_round must equal exact rational round-half-away."""
+        ratio = Fraction(num, den)
+        out = int(rescale_round(np.array([value], dtype=np.int64), ratio)[0])
+        exact = Fraction(value) * ratio
+        sign = -1 if exact < 0 else 1
+        expected = sign * int((abs(exact) + Fraction(1, 2)).__floor__())
+        assert out == expected
+
+    def test_object_fallback_for_huge_scales(self):
+        q = np.array([2**60], dtype=np.int64)
+        out = rescale_round(q, Fraction(1, 2**10))
+        assert out[0] == 2**50
+
+
+class TestRequantize:
+    def test_shift_down(self):
+        out_fmt = QFormat(16, 4)
+        acc = np.array([1 << 10], dtype=np.int64)  # acc frac = 10
+        assert requantize(acc, 10, out_fmt)[0] == 1 << 4
+
+    def test_extra_ratio(self):
+        out_fmt = QFormat(16, 0)
+        acc = np.array([36], dtype=np.int64)
+        out = requantize(acc, 0, out_fmt, extra_ratio=Fraction(1, 36))
+        assert out[0] == 1
+
+    def test_saturation_applied(self):
+        out_fmt = QFormat(8, 0)
+        acc = np.array([10**6], dtype=np.int64)
+        assert requantize(acc, 0, out_fmt)[0] == 127

@@ -1,0 +1,108 @@
+"""Tests for the model zoo and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_PRESETS, DatasetSpec, make_dataset
+from repro.errors import ConfigurationError
+from repro.models import BENCHMARKS, build_benchmark_model, list_benchmarks
+from repro.nn import forward, infer_shapes, initialize
+
+
+class TestModelTopologies:
+    def test_registry_contents(self):
+        assert list_benchmarks() == ["densenet169", "googlenet", "resnet50", "vgg19"]
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_benchmark_model("alexnet")
+
+    def test_vgg19_has_16_convs_3_fc(self):
+        g = build_benchmark_model("vgg19")
+        convs = [n for n in g if n.op == "conv2d"]
+        linears = [n for n in g if n.op == "linear"]
+        assert len(convs) == 16
+        assert len(linears) == 3
+        assert all(n.attrs["kernel"] == 3 for n in convs)
+
+    def test_resnet50_structure(self):
+        g = build_benchmark_model("resnet50")
+        convs = [n for n in g if n.op == "conv2d"]
+        # 1 stem + 16 blocks * 3 + 4 projections = 53 convolutions.
+        assert len(convs) == 53
+        stem = g.node("stem_conv")
+        assert stem.attrs["kernel"] == 7 and stem.attrs["stride"] == 2
+        adds = [n for n in g if n.op == "add"]
+        assert len(adds) == 16  # one residual join per block
+
+    def test_densenet169_structure(self):
+        g = build_benchmark_model("densenet169")
+        convs = [n for n in g if n.op == "conv2d"]
+        # stem + 82 dense layers * 2 + 3 transitions = 168.
+        assert len(convs) == 168
+        concats = [n for n in g if n.op == "concat"]
+        assert len(concats) > 80  # dense connectivity
+
+    def test_googlenet_structure(self):
+        g = build_benchmark_model("googlenet")
+        convs = [n for n in g if n.op == "conv2d"]
+        # stem + 9 modules * 6 convs = 55.
+        assert len(convs) == 55
+        five_by_five = [n for n in convs if n.attrs["kernel"] == 5]
+        assert len(five_by_five) == 9  # one 5x5 branch per module
+
+    @pytest.mark.parametrize("name", ["vgg19", "resnet50", "googlenet"])
+    def test_forward_shapes(self, name):
+        g = build_benchmark_model(name)
+        initialize(g, 0)
+        shapes = infer_shapes(g)
+        x = np.random.default_rng(0).standard_normal((2, *g.input_shape)).astype(np.float32)
+        logits, _, _ = forward(g, x)
+        assert logits.shape == (2, shapes[g.output_name][0])
+
+    def test_benchmark_dataset_pairings(self):
+        assert BENCHMARKS["vgg19"].dataset == "cifar100-syn"
+        assert BENCHMARKS["googlenet"].dataset == "cifar10-syn"
+        assert BENCHMARKS["resnet50"].dataset == "imagenet-syn"
+        assert BENCHMARKS["densenet169"].dataset == "imagenet-syn"
+
+
+class TestSyntheticDatasets:
+    def test_deterministic_generation(self):
+        a = make_dataset("cifar10-syn", train_per_class=4, test_per_class=2)
+        b = make_dataset("cifar10-syn", train_per_class=4, test_per_class=2)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.test_y, b.test_y)
+
+    def test_split_sizes_and_shapes(self):
+        ds = make_dataset("cifar10-syn", train_per_class=6, test_per_class=3)
+        assert ds.train_x.shape == (60, 3, 32, 32)
+        assert ds.test_x.shape == (30, 3, 32, 32)
+        assert ds.input_shape == (3, 32, 32)
+
+    def test_all_classes_present(self):
+        ds = make_dataset("cifar10-syn", train_per_class=4, test_per_class=2)
+        assert set(ds.train_y.tolist()) == set(range(10))
+
+    def test_standardized(self):
+        ds = make_dataset("cifar10-syn", train_per_class=20, test_per_class=5)
+        assert abs(float(ds.train_x.mean())) < 0.05
+        assert abs(float(ds.train_x.std()) - 1.0) < 0.05
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("mnist")
+
+    def test_custom_spec(self):
+        spec = DatasetSpec(name="x", classes=3, image_size=8, channels=1)
+        ds = make_dataset(spec, train_per_class=2, test_per_class=1)
+        assert ds.train_x.shape == (6, 1, 8, 8)
+
+    def test_seed_changes_data(self):
+        a = make_dataset("cifar10-syn", train_per_class=4, test_per_class=2, seed=1)
+        b = make_dataset("cifar10-syn", train_per_class=4, test_per_class=2, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_presets_match_paper_class_structure(self):
+        assert DATASET_PRESETS["cifar10-syn"].classes == 10
+        assert DATASET_PRESETS["cifar100-syn"].classes > 10

@@ -1,0 +1,83 @@
+"""Tests for the graph IR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import GraphBuilder
+from repro.nn.graph import Graph, Node
+
+
+class TestGraphValidation:
+    def test_rejects_unknown_op(self):
+        g = Graph("t", (3, 8, 8))
+        with pytest.raises(ConfigurationError):
+            g.add_node(Node("x", "transmogrify", (), {}))
+
+    def test_rejects_duplicate_name(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv2d(b.input_node, 4, 3, name="c")
+        with pytest.raises(ConfigurationError):
+            b.conv2d(b.input_node, 4, 3, name="c")
+
+    def test_rejects_unknown_input(self):
+        g = Graph("t", (3, 8, 8))
+        with pytest.raises(ConfigurationError):
+            g.add_node(Node("x", "relu", ("ghost",), {}))
+
+    def test_rejects_unknown_output(self):
+        g = Graph("t", (3, 8, 8))
+        with pytest.raises(ConfigurationError):
+            g.set_output("ghost")
+
+
+class TestGraphQueries:
+    def _small_graph(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        x = b.conv2d(b.input_node, 4, 3, padding=1, name="c1")
+        y = b.relu(x, name="r1")
+        z = b.add(x, y, name="a1")
+        b.output(b.linear(b.flatten(z, name="f1"), 2, name="fc"))
+        return b.graph
+
+    def test_consumers(self):
+        g = self._small_graph()
+        consumers = {n.name for n in g.consumers("c1")}
+        assert consumers == {"r1", "a1"}
+
+    def test_conv_and_linear_nodes(self):
+        g = self._small_graph()
+        assert [n.name for n in g.conv_and_linear_nodes()] == ["c1", "fc"]
+
+    def test_contains_and_len(self):
+        g = self._small_graph()
+        assert "c1" in g and "ghost" not in g
+        assert len(g) == 6  # input, c1, r1, a1, f1, fc
+
+
+class TestStateDict:
+    def test_roundtrip(self, tiny_trained):
+        state = tiny_trained.state_dict()
+        import copy
+
+        from tests.conftest import build_tiny_cnn
+        from repro.nn import initialize
+
+        fresh = build_tiny_cnn()
+        initialize(fresh, 123)
+        fresh.load_state_dict(state)
+        for key, arr in fresh.state_dict().items():
+            np.testing.assert_array_equal(arr, state[key])
+
+    def test_rejects_unknown_key(self, tiny_trained):
+        with pytest.raises(ConfigurationError):
+            tiny_trained.load_state_dict({"param/ghost/weight": np.zeros(1)})
+
+    def test_rejects_shape_mismatch(self, tiny_trained):
+        state = tiny_trained.state_dict()
+        key = next(iter(state))
+        with pytest.raises(ConfigurationError):
+            tiny_trained.load_state_dict({key: np.zeros((1, 1, 1))})
+
+    def test_num_parameters_positive(self, tiny_trained):
+        assert tiny_trained.num_parameters() > 1000

@@ -1,0 +1,179 @@
+"""Tests for BN folding, quantization and quantized node semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat
+from repro.nn import GraphBuilder, forward, initialize
+from repro.quantized import (
+    QuantConfig,
+    bn_affine_coefficients,
+    fold_batchnorm,
+    quantize_model,
+)
+from repro.quantized.quantizer import folded_float_forward
+
+
+class TestQuantConfig:
+    def test_rejects_odd_width(self):
+        with pytest.raises(ConfigurationError):
+            QuantConfig(width=12)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ConfigurationError):
+            QuantConfig(wg_tile=3)
+
+    def test_acc_width(self):
+        assert QuantConfig(width=16, acc_guard=4).acc_width == 20
+
+
+class TestBnFolding:
+    def test_conv_bn_pair_folds(self, tiny_trained):
+        folded = fold_batchnorm(tiny_trained)
+        # Both BNs in the tiny CNN follow convs exclusively -> none remain.
+        assert not any(n.op == "batchnorm2d" for n in folded)
+
+    def test_folded_outputs_match_eval_forward(self, tiny_trained, tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        expected, _, _ = forward(tiny_trained, x, train=False)
+        acts = folded_float_forward(fold_batchnorm(tiny_trained), x)
+        np.testing.assert_allclose(
+            acts[tiny_trained.output_name], expected, atol=1e-3, rtol=1e-3
+        )
+
+    def test_unfoldable_bn_becomes_affine(self):
+        """Pre-activation BN (DenseNet style) must survive as affine."""
+        b = GraphBuilder("t", (3, 8, 8))
+        x = b.batchnorm2d(b.input_node, name="bn")
+        x = b.relu(x)
+        x = b.conv2d(x, 4, 3, padding=1, name="c")
+        b.output(b.flatten(x))
+        g = b.graph
+        initialize(g, 0)
+        folded = fold_batchnorm(g)
+        assert any(n.op == "batchnorm2d" for n in folded)
+        assert "scale" in folded.params["bn"]
+
+    def test_shared_conv_output_not_folded(self):
+        """A conv feeding BN *and* another consumer must stay unfolded."""
+        b = GraphBuilder("t", (3, 8, 8))
+        c = b.conv2d(b.input_node, 4, 3, padding=1, name="c")
+        bn = b.batchnorm2d(c, name="bn")
+        z = b.add(bn, c)
+        b.output(b.flatten(z))
+        g = b.graph
+        initialize(g, 0)
+        folded = fold_batchnorm(g)
+        assert any(n.op == "batchnorm2d" for n in folded)
+
+    def test_affine_coefficients_identity_at_init(self, tiny_trained):
+        """gamma=1, beta=0, mean~0, var~1 gives scale~1, shift~0 — but the
+        trained net has adapted stats; just verify algebraic consistency."""
+        scale, shift = bn_affine_coefficients(tiny_trained, "b1")
+        node = tiny_trained.node("b1")
+        gamma = tiny_trained.params["b1"]["gamma"]
+        var = tiny_trained.buffers["b1"]["running_var"]
+        np.testing.assert_allclose(
+            scale, gamma / np.sqrt(var + node.attrs["eps"]), rtol=1e-6
+        )
+
+
+class TestQuantizeModel:
+    def test_int16_matches_float_closely(self, tiny_trained, tiny_dataset, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        x = tiny_dataset.test_x[:16]
+        float_logits, _, _ = forward(tiny_trained, x)
+        quant_logits = qm_st.logits(x)
+        assert np.abs(quant_logits - float_logits).max() < 0.05
+
+    def test_int8_accuracy_close_to_float(self, tiny_trained, tiny_dataset):
+        qm = quantize_model(
+            tiny_trained, tiny_dataset.train_x[:64], QuantConfig(width=8), "standard"
+        )
+        accuracy = qm.evaluate(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert accuracy > 0.7
+
+    def test_rejects_unknown_mode(self, tiny_trained, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            quantize_model(tiny_trained, tiny_dataset.train_x[:8], conv_mode="fft")
+
+    def test_one_by_one_convs_stay_direct_in_wg_mode(self, tiny_dataset):
+        b = GraphBuilder("t", (3, 8, 8))
+        x = b.conv2d(b.input_node, 4, 1, name="c1x1")
+        x = b.conv2d(x, 4, 3, padding=1, name="c3x3")
+        b.output(b.flatten(x))
+        g = b.graph
+        initialize(g, 0)
+        calib = np.random.default_rng(0).standard_normal((8, 3, 8, 8)).astype(np.float32)
+        qm = quantize_model(g, calib, QuantConfig(width=16), "winograd")
+        kinds = {layer.name: layer.op for layer in qm.injectable_layers()}
+        assert kinds["c1x1"] == "QConvDirect"
+        assert kinds["c3x3"] == "QConvWinograd"
+
+    def test_op_counts_attached(self, tiny_quantized):
+        qm_st, qm_wg = tiny_quantized
+        assert qm_st.total_op_counts().st_mul > 0
+        assert qm_wg.total_op_counts().wg_mul > 0
+        assert qm_wg.total_op_counts().st_mul > 0  # the linear layer
+
+    def test_output_format_sane(self, tiny_quantized):
+        qm_st, _ = tiny_quantized
+        assert isinstance(qm_st.output_fmt, QFormat)
+        assert qm_st.output_fmt.width == 16
+
+
+class TestQuantizedNodeSemantics:
+    def test_maxpool_padding_uses_qmin(self):
+        from repro.quantized.qops import QMaxPool
+
+        node = QMaxPool("p", ("x",), QFormat(8, 0), kernel=3, stride=1, padding=1)
+        x = np.full((1, 1, 2, 2), -5, dtype=np.int64)
+        out = node.forward([x])
+        # Padding must never win the max: all outputs stay -5.
+        assert out.max() == -5
+
+    def test_avgpool_exact_rounding(self):
+        from repro.quantized.qops import QAvgPool
+
+        node = QAvgPool("p", ("x",), QFormat(8, 0), kernel=2, stride=2)
+        x = np.array([[[[1, 2], [3, 5]]]], dtype=np.int64)
+        # mean = 11/4 = 2.75 -> rounds to 3.
+        assert node.forward([x])[0, 0, 0, 0] == 3
+
+    def test_qadd_harmonizes_formats(self):
+        from repro.quantized.qops import QAdd
+
+        node = QAdd(
+            "a", ("x", "y"), QFormat(16, 4),
+            in_fmts=(QFormat(16, 6), QFormat(16, 2)),
+        )
+        a = np.array([64], dtype=np.int64)  # 1.0 at frac 6
+        b = np.array([4], dtype=np.int64)  # 1.0 at frac 2
+        out = node.forward([a, b])
+        assert out[0] == 32  # 2.0 at frac 4
+
+    def test_qconcat_rescales_to_coarsest(self):
+        from repro.quantized.qops import QConcat
+
+        node = QConcat(
+            "c", ("x", "y"), QFormat(16, 2),
+            in_fmts=(QFormat(16, 4), QFormat(16, 2)),
+        )
+        a = np.full((1, 1, 1, 1), 16, dtype=np.int64)  # 4.0 at frac 4
+        b = np.full((1, 2, 1, 1), 8, dtype=np.int64)  # 2.0 at frac 2
+        out = node.forward([a, b])
+        assert out[0, 0, 0, 0] == 4  # 4.0 at frac 2
+        assert out.shape == (1, 3, 1, 1)
+
+    def test_qaffine_applies_scale_shift(self):
+        from repro.quantized.qops import QAffine
+
+        node = QAffine(
+            "bn", ("x",), QFormat(16, 8),
+            mult_int=np.array([2 << QAffine.SHIFT], dtype=np.int64),
+            shift_int=np.array([10], dtype=np.int64),
+            in_fmt=QFormat(16, 8),
+        )
+        x = np.full((1, 1, 1, 1), 100, dtype=np.int64)
+        assert node.forward([x])[0, 0, 0, 0] == 210

@@ -1,0 +1,80 @@
+"""The library's load-bearing invariant: quantized Winograd execution is
+bit-identical to quantized direct convolution in the fault-free case.
+
+This realizes the paper's premise that Winograd is a lossless rewrite, so
+any accuracy difference between the two modes under fault injection is
+attributable to the injected faults alone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import GraphBuilder, initialize
+from repro.quantized import QuantConfig, quantize_model
+
+
+def random_conv_graph(kernel, stride, channels, seed):
+    b = GraphBuilder("g", (3, 12, 12))
+    x = b.conv2d(
+        b.input_node, channels, kernel, stride=stride, padding=kernel // 2, name="c1"
+    )
+    x = b.relu(x)
+    x = b.conv2d(x, channels, 3, padding=1, name="c2")
+    b.output(b.flatten(x))
+    g = b.graph
+    initialize(g, seed)
+    return g
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_tiny_cnn(self, tiny_trained, tiny_dataset, width):
+        calib = tiny_dataset.train_x[:64]
+        qm_st = quantize_model(tiny_trained, calib, QuantConfig(width=width), "standard")
+        qm_wg = quantize_model(tiny_trained, calib, QuantConfig(width=width), "winograd")
+        x = tiny_dataset.test_x[:16]
+        np.testing.assert_array_equal(qm_st.forward(x), qm_wg.forward(x))
+
+    @pytest.mark.parametrize("wg_tile", [2, 4])
+    def test_tile_sizes(self, tiny_trained, tiny_dataset, wg_tile):
+        calib = tiny_dataset.train_x[:64]
+        cfg = QuantConfig(width=16, wg_tile=wg_tile)
+        qm_st = quantize_model(tiny_trained, calib, cfg, "standard")
+        qm_wg = quantize_model(tiny_trained, calib, cfg, "winograd")
+        x = tiny_dataset.test_x[:8]
+        np.testing.assert_array_equal(qm_st.forward(x), qm_wg.forward(x))
+
+    @pytest.mark.parametrize(
+        "kernel,stride", [(3, 1), (3, 2), (5, 1), (7, 2)]
+    )
+    def test_dwm_kernels(self, kernel, stride):
+        """Large kernels and strides go through DWM and must stay exact."""
+        g = random_conv_graph(kernel, stride, channels=6, seed=3)
+        rng = np.random.default_rng(0)
+        calib = rng.standard_normal((16, 3, 12, 12)).astype(np.float32)
+        qm_st = quantize_model(g, calib, QuantConfig(width=16), "standard")
+        qm_wg = quantize_model(g, calib, QuantConfig(width=16), "winograd")
+        x = rng.standard_normal((4, 3, 12, 12)).astype(np.float32)
+        np.testing.assert_array_equal(qm_st.forward(x), qm_wg.forward(x))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        kernel=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 2),
+        channels=st.integers(2, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_bit_identity_hypothesis(self, kernel, stride, channels, seed):
+        g = random_conv_graph(kernel, stride, channels, seed)
+        rng = np.random.default_rng(seed)
+        calib = rng.standard_normal((8, 3, 12, 12)).astype(np.float32)
+        qm_st = quantize_model(g, calib, QuantConfig(width=16), "standard")
+        qm_wg = quantize_model(g, calib, QuantConfig(width=16), "winograd")
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        np.testing.assert_array_equal(qm_st.forward(x), qm_wg.forward(x))
+
+    def test_mul_census_reduced_by_winograd(self, tiny_quantized):
+        qm_st, qm_wg = tiny_quantized
+        assert qm_wg.total_op_counts().muls < qm_st.total_op_counts().muls

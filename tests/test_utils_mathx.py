@@ -1,0 +1,62 @@
+"""Tests for repro.utils.mathx."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathx import ceil_div, ilog2, next_pow2, prod
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 8, 1)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_definition(self, a, b):
+        result = ceil_div(a, b)
+        assert (result - 1) * b < a or a == 0
+        assert result * b >= a
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("x,expected", [(1, 0), (2, 1), (1024, 10)])
+    def test_values(self, x, expected):
+        assert ilog2(x) == expected
+
+    @pytest.mark.parametrize("x", [0, -4, 3, 6])
+    def test_rejects_non_powers(self, x):
+        with pytest.raises(ValueError):
+            ilog2(x)
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize(
+        "x,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (17, 32), (1024, 1024)]
+    )
+    def test_values(self, x, expected):
+        assert next_pow2(x) == expected
+
+    @given(st.integers(1, 10**9))
+    def test_bounds(self, x):
+        p = next_pow2(x)
+        assert p >= x and p < 2 * x
+        assert p & (p - 1) == 0
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod([]) == 1
+
+    def test_product(self):
+        assert prod([2, 3, 4]) == 24

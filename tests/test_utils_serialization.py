@@ -1,0 +1,42 @@
+"""Tests for JSON/NPZ persistence helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    load_json,
+    load_npz_state,
+    save_json,
+    save_npz_state,
+)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        payload = {"a": 1, "b": [1.5, 2.5], "c": {"nested": True}}
+        path = save_json(tmp_path / "x.json", payload)
+        assert load_json(path) == payload
+
+    def test_numpy_types_serialized(self, tmp_path):
+        payload = {
+            "int": np.int64(7),
+            "float": np.float32(1.5),
+            "bool": np.bool_(True),
+            "array": np.arange(3),
+        }
+        path = save_json(tmp_path / "np.json", payload)
+        loaded = load_json(path)
+        assert loaded == {"int": 7, "float": 1.5, "bool": True, "array": [0, 1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "deep" / "nested" / "x.json", {})
+        assert path.exists()
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = save_npz_state(tmp_path / "state.npz", state)
+        loaded = load_npz_state(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_array_equal(loaded["w"], state["w"])

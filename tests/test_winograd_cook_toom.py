@@ -1,0 +1,124 @@
+"""Tests for exact Cook–Toom transform construction."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransformError
+from repro.winograd.cook_toom import (
+    cook_toom_1d,
+    default_points,
+    fraction_matrix_inverse,
+    scale_to_integer,
+)
+
+
+def correlation(g, d, m):
+    """Reference 1-D correlation with r taps and m outputs."""
+    r = len(g)
+    return [sum(g[j] * d[i + j] for j in range(r)) for i in range(m)]
+
+
+class TestFractionMatrixInverse:
+    def test_identity(self):
+        eye = [[Fraction(int(i == j)) for j in range(3)] for i in range(3)]
+        assert fraction_matrix_inverse(eye) == eye
+
+    def test_known_inverse(self):
+        mat = [[Fraction(2), Fraction(0)], [Fraction(0), Fraction(4)]]
+        inv = fraction_matrix_inverse(mat)
+        assert inv[0][0] == Fraction(1, 2)
+        assert inv[1][1] == Fraction(1, 4)
+
+    def test_singular_raises(self):
+        mat = [[Fraction(1), Fraction(1)], [Fraction(1), Fraction(1)]]
+        with pytest.raises(TransformError):
+            fraction_matrix_inverse(mat)
+
+    def test_product_is_identity(self):
+        mat = [
+            [Fraction(1), Fraction(2), Fraction(0)],
+            [Fraction(0), Fraction(1), Fraction(3)],
+            [Fraction(4), Fraction(0), Fraction(1)],
+        ]
+        inv = fraction_matrix_inverse(mat)
+        prod = [
+            [sum(mat[i][k] * inv[k][j] for k in range(3)) for j in range(3)]
+            for i in range(3)
+        ]
+        assert prod == [[Fraction(int(i == j)) for j in range(3)] for i in range(3)]
+
+
+class TestCookToom:
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (6, 3), (2, 2), (3, 2), (4, 5), (1, 3), (5, 1)])
+    def test_exact_correlation(self, m, r):
+        at, g_mat, bt = cook_toom_1d(m, r)
+        rng = np.random.default_rng(m * 10 + r)
+        d = rng.integers(-100, 100, size=m + r - 1).astype(object)
+        g = rng.integers(-100, 100, size=r).astype(object)
+        result = at @ ((g_mat @ g) * (bt @ d))
+        expected = correlation(g, d, m)
+        assert [Fraction(v) for v in result] == [Fraction(v) for v in expected]
+
+    def test_degenerate_f11(self):
+        at, g_mat, bt = cook_toom_1d(1, 1)
+        assert at[0][0] == 1 and g_mat[0][0] == 1 and bt[0][0] == 1
+
+    def test_mul_count_is_minimal(self):
+        """F(m, r) uses exactly m + r - 1 element-wise multiplications."""
+        for m, r in [(2, 3), (4, 3), (3, 2)]:
+            at, g_mat, bt = cook_toom_1d(m, r)
+            assert at.shape == (m, m + r - 1)
+            assert g_mat.shape == (m + r - 1, r)
+            assert bt.shape == (m + r - 1, m + r - 1)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(TransformError):
+            cook_toom_1d(0, 3)
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(TransformError):
+            cook_toom_1d(2, 3, points=[Fraction(1), Fraction(1)])
+
+    def test_rejects_wrong_point_count(self):
+        with pytest.raises(TransformError):
+            cook_toom_1d(2, 3, points=[Fraction(0)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(1, 5), r=st.integers(1, 4), seed=st.integers(0, 100))
+    def test_exact_correlation_hypothesis(self, m, r, seed):
+        at, g_mat, bt = cook_toom_1d(m, r)
+        rng = np.random.default_rng(seed)
+        d = rng.integers(-1000, 1000, size=m + r - 1).astype(object)
+        g = rng.integers(-1000, 1000, size=r).astype(object)
+        result = at @ ((g_mat @ g) * (bt @ d))
+        assert [Fraction(v) for v in result] == [
+            Fraction(v) for v in correlation(g, d, m)
+        ]
+
+
+class TestDefaultPoints:
+    def test_distinct(self):
+        pts = default_points(9)
+        assert len(set(pts)) == 9
+
+    def test_too_many_raises(self):
+        with pytest.raises(TransformError):
+            default_points(100)
+
+
+class TestScaleToInteger:
+    def test_scales_fractions(self):
+        mat = np.array([[Fraction(1, 2), Fraction(1, 3)]], dtype=object)
+        scaled, s = scale_to_integer(mat)
+        assert s == 6
+        assert scaled.tolist() == [[3, 2]]
+
+    def test_integer_matrix_scale_one(self):
+        mat = np.array([[Fraction(2), Fraction(-1)]], dtype=object)
+        scaled, s = scale_to_integer(mat)
+        assert s == 1
+        assert scaled.tolist() == [[2, -1]]

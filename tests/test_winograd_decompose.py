@@ -1,0 +1,136 @@
+"""Tests for the DWM decomposition: exact equivalence with direct conv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.im2col import conv_output_size, im2col, pad_nchw
+from repro.winograd import get_transform, transform_filter_int, winograd_conv2d_int
+from repro.winograd.decompose import (
+    decompose_conv,
+    extract_sub_input,
+    extract_sub_kernel,
+)
+
+
+def direct_conv_int(x, w, stride, padding):
+    n, c, h, wd = x.shape
+    k, _, r, s = w.shape
+    cols = im2col(x, (r, s), stride, padding)
+    p = conv_output_size(h, r, stride, padding)
+    q = conv_output_size(wd, s, stride, padding)
+    return np.einsum("kr,nrp->nkp", w.reshape(k, -1), cols).reshape(n, k, p, q)
+
+
+def dwm_conv_int(x, w, stride, padding, m=2):
+    """Full DWM pipeline: decompose, winograd each piece, sum."""
+    tf = get_transform(m, 3)
+    k, c, r, s = w.shape
+    n, _, h, wd = x.shape
+    out_h = conv_output_size(h, r, stride, padding)
+    out_w = conv_output_size(wd, s, stride, padding)
+    xp = pad_nchw(x, padding)
+    total = None
+    for spec in decompose_conv((r, s), stride):
+        sub_w = extract_sub_kernel(w, spec, stride)
+        view = extract_sub_input(xp, spec, stride, out_h, out_w)
+        v = transform_filter_int(sub_w, tf)
+        ctx = winograd_conv2d_int(view, v, padding=0, m=m)
+        y = ctx.y_int[:, :, :out_h, :out_w]
+        total = y if total is None else total + y
+    return total // tf.output_scale_2d  # exact: total is a multiple
+
+
+class TestDecomposeEnumeration:
+    def test_canonical_3x3_s1_single_piece(self):
+        pieces = decompose_conv((3, 3), 1)
+        assert len(pieces) == 1
+        assert pieces[0].taps_h == 3 and not pieces[0].is_padded
+
+    def test_7x7_s2_piece_count(self):
+        """Phases: b=0 -> 4 taps (2 chunks), b=1 -> 3 taps (1 chunk);
+        3 per axis -> 9 pieces in 2-D."""
+        assert len(decompose_conv((7, 7), 2)) == 9
+
+    def test_5x5_s1_piece_count(self):
+        assert len(decompose_conv((5, 5), 1)) == 4
+
+    def test_3x3_s2_piece_count(self):
+        assert len(decompose_conv((3, 3), 2)) == 4
+
+    def test_1x1_s1(self):
+        pieces = decompose_conv((1, 1), 1)
+        assert len(pieces) == 1
+        assert pieces[0].is_padded
+
+
+class TestSubKernelExtraction:
+    def test_taps_map_to_original(self, rng):
+        w = rng.integers(-50, 50, size=(2, 3, 7, 7)).astype(np.int64)
+        for spec in decompose_conv((7, 7), 2):
+            sub = extract_sub_kernel(w, spec, 2)
+            assert sub.shape == (2, 3, 3, 3)
+            for ah in range(3):
+                for aw in range(3):
+                    src_h = 2 * (3 * spec.chunk_h + ah) + spec.phase_h
+                    src_w = 2 * (3 * spec.chunk_w + aw) + spec.phase_w
+                    expected = (
+                        w[:, :, src_h, src_w] if src_h < 7 and src_w < 7 else 0
+                    )
+                    np.testing.assert_array_equal(sub[:, :, ah, aw], expected)
+
+    def test_tap_coverage_is_complete_and_disjoint(self):
+        """Every original tap appears in exactly one piece."""
+        w = np.arange(49, dtype=np.int64).reshape(1, 1, 7, 7) + 1
+        seen = np.zeros((7, 7), dtype=int)
+        for spec in decompose_conv((7, 7), 2):
+            sub = extract_sub_kernel(w, spec, 2)
+            for val in sub.ravel():
+                if val > 0:
+                    idx = int(val) - 1
+                    seen[idx // 7, idx % 7] += 1
+        assert np.all(seen == 1)
+
+
+class TestDwmEquivalence:
+    @pytest.mark.parametrize(
+        "kernel,stride,padding",
+        [
+            ((3, 3), 1, 1),
+            ((3, 3), 2, 1),
+            ((5, 5), 1, 2),
+            ((7, 7), 2, 3),
+            ((1, 1), 1, 0),
+            ((1, 1), 2, 0),
+        ],
+    )
+    def test_matches_direct_conv_bitwise(self, rng, kernel, stride, padding):
+        x = rng.integers(-200, 200, size=(2, 3, 14, 13)).astype(np.int64)
+        w = rng.integers(-200, 200, size=(4, 3, *kernel)).astype(np.int64)
+        expected = direct_conv_int(x, w, stride, padding)
+        result = dwm_conv_int(x, w, stride, padding)
+        np.testing.assert_array_equal(result, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kernel=st.sampled_from([1, 2, 3, 4, 5, 7]),
+        stride=st.integers(1, 3),
+        seed=st.integers(0, 50),
+    )
+    def test_matches_direct_conv_hypothesis(self, kernel, stride, seed):
+        rng = np.random.default_rng(seed)
+        size = max(kernel + stride * 3, 10)
+        x = rng.integers(-100, 100, size=(1, 2, size, size)).astype(np.int64)
+        w = rng.integers(-100, 100, size=(2, 2, kernel, kernel)).astype(np.int64)
+        padding = kernel // 2
+        expected = direct_conv_int(x, w, stride, padding)
+        result = dwm_conv_int(x, w, stride, padding)
+        np.testing.assert_array_equal(result, expected)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_tile_size_independent(self, rng, m):
+        x = rng.integers(-100, 100, size=(1, 2, 12, 12)).astype(np.int64)
+        w = rng.integers(-100, 100, size=(3, 2, 5, 5)).astype(np.int64)
+        expected = direct_conv_int(x, w, 1, 2)
+        np.testing.assert_array_equal(dwm_conv_int(x, w, 1, 2, m=m), expected)

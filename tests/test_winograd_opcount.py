@@ -1,0 +1,76 @@
+"""Tests for the primitive-operation census."""
+
+import pytest
+
+from repro.winograd.opcount import (
+    ALL_CATEGORIES,
+    OpCounts,
+    linear_counts,
+    standard_conv_counts,
+    winograd_conv_counts,
+)
+
+
+class TestStandardConvCounts:
+    def test_known_values(self):
+        # 3x3 conv, C=4, K=8, 10x10 output: muls = 8*100*36.
+        counts = standard_conv_counts(4, 8, (3, 3), (10, 10), bias=True)
+        assert counts.st_mul == 8 * 100 * 36
+        assert counts.st_add == 8 * 100 * 36  # (36-1) reduction adds + bias
+        assert counts.wg_mul == 0
+
+    def test_no_bias(self):
+        counts = standard_conv_counts(4, 8, (3, 3), (10, 10), bias=False)
+        assert counts.st_add == 8 * 100 * 35
+
+
+class TestWinogradConvCounts:
+    def test_mul_reduction_ratio_f23(self):
+        """F(2,3) on an even output grid: 36/16 = 2.25x fewer muls."""
+        st = standard_conv_counts(16, 16, (3, 3), (16, 16))
+        wg = winograd_conv_counts(16, 16, (3, 3), 1, (16, 16), m=2)
+        assert st.st_mul / wg.wg_mul == pytest.approx(2.25)
+
+    def test_categories_populated(self):
+        wg = winograd_conv_counts(8, 8, (3, 3), 1, (8, 8), m=2)
+        assert wg.wg_input_add > 0
+        assert wg.wg_acc_add > 0
+        assert wg.wg_output_add > 0
+        assert wg.st_mul == 0
+
+    def test_dwm_multiplies_piece_counts(self):
+        """7x7 stride 2 decomposes into 9 pieces: ~9x the per-piece census."""
+        single = winograd_conv_counts(4, 4, (3, 3), 1, (8, 8), m=2)
+        dwm = winograd_conv_counts(4, 4, (7, 7), 2, (8, 8), m=2)
+        assert dwm.wg_mul == 9 * single.wg_mul
+
+    def test_recombination_adds_counted(self):
+        no_recomb = winograd_conv_counts(4, 4, (3, 3), 1, (8, 8), m=2, bias=False)
+        with_recomb = winograd_conv_counts(4, 4, (3, 3), 2, (8, 8), m=2, bias=False)
+        # stride 2 -> 4 pieces -> 3 extra adds per output.
+        assert with_recomb.wg_output_add - 4 * no_recomb.wg_output_add == 3 * 4 * 64
+
+    def test_offline_filter_adds_not_in_runtime_total(self):
+        wg = winograd_conv_counts(8, 8, (3, 3), 1, (8, 8), m=2)
+        assert wg.wg_filter_add_offline > 0
+        assert wg.wg_filter_add_offline not in (wg.adds, wg.total)
+        assert wg.total == wg.muls + wg.adds
+
+
+class TestLinearCounts:
+    def test_values(self):
+        counts = linear_counts(128, 10)
+        assert counts.st_mul == 1280
+        assert counts.st_add == 10 * 128  # 127 reduction + bias per output
+
+
+class TestOpCountsContainer:
+    def test_addition(self):
+        a = OpCounts(st_mul=1, wg_mul=2)
+        b = OpCounts(st_mul=10, wg_acc_add=5)
+        c = a + b
+        assert c.st_mul == 11 and c.wg_mul == 2 and c.wg_acc_add == 5
+
+    def test_by_category_covers_all(self):
+        counts = OpCounts()
+        assert set(counts.by_category()) == set(ALL_CATEGORIES)

@@ -1,0 +1,75 @@
+"""Tests for repro.winograd.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.transforms import SUPPORTED_TILES, WinogradTransform, get_transform
+
+
+class TestGetTransform:
+    @pytest.mark.parametrize("m", SUPPORTED_TILES)
+    def test_supported_tiles_validate(self, m):
+        tf = get_transform(m, 3)
+        assert tf.t == m + 2
+        tf.validate()  # raises on failure
+
+    def test_cached(self):
+        assert get_transform(2, 3) is get_transform(2, 3)
+
+    def test_canonical_f23_matrices(self):
+        tf = get_transform(2, 3)
+        assert tf.bt_int.tolist() == [
+            [1, 0, -1, 0],
+            [0, 1, 1, 0],
+            [0, -1, 1, 0],
+            [0, 1, 0, -1],
+        ]
+        assert tf.g_scale == 2
+        assert tf.at_scale == 1 and tf.bt_scale == 1
+
+    def test_canonical_f43_scales(self):
+        tf = get_transform(4, 3)
+        assert tf.g_scale == 24
+        assert tf.at_scale == 1 and tf.bt_scale == 1
+
+    def test_integer_matrices_exact(self):
+        for m in SUPPORTED_TILES:
+            tf = get_transform(m, 3)
+            np.testing.assert_array_equal(
+                tf.at_int, np.array([[int(v * tf.at_scale) for v in row] for row in tf.at_frac])
+            )
+
+    def test_output_scale_2d(self):
+        tf = get_transform(2, 3)
+        assert tf.output_scale_2d == (1 * 1 * 2) ** 2 == 4
+
+
+class TestOpCountMetadata:
+    def test_f23_input_transform_adds(self):
+        """Canonical F(2,3): each B^T row has 2 nonzeros -> 4 adds per pass
+        per vector, 4 vectors per pass, 2 passes = 32 adds per tile."""
+        tf = get_transform(2, 3)
+        assert tf.input_transform_adds_per_tile() == 32
+
+    def test_f23_output_transform_adds(self):
+        """A^T rows have 3 nonzeros -> 2*(3-1)=4 adds per vector; pass 1
+        covers t=4 vectors, pass 2 covers m=2: (4+2)*4 = 24."""
+        tf = get_transform(2, 3)
+        assert tf.output_transform_adds_per_tile() == 24
+
+    def test_ewise_muls(self):
+        assert get_transform(2, 3).ewise_muls_per_tile() == 16
+        assert get_transform(4, 3).ewise_muls_per_tile() == 36
+
+    def test_filter_transform_positive(self):
+        assert get_transform(2, 3).filter_transform_adds() > 0
+
+
+class TestFromFractionMatrices:
+    def test_roundtrip_through_builder(self):
+        base = get_transform(2, 3)
+        rebuilt = WinogradTransform.from_fraction_matrices(
+            2, 3, base.at_frac, base.g_frac, base.bt_frac
+        )
+        rebuilt.validate()
+        assert rebuilt.output_scale_2d == base.output_scale_2d
