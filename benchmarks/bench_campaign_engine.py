@@ -1,0 +1,114 @@
+"""Benchmarks the parallel campaign engine against serial execution.
+
+Acceptance target: on a >= 4-core machine, a >= 8-unit sweep through
+:class:`repro.runtime.CampaignEngine` with 4 workers completes at least
+2x faster than the serial path, while staying bit-identical (the identity
+is asserted unconditionally; the speedup assertion is skipped on machines
+without enough cores, where forked workers just time-slice one CPU).
+
+Run standalone for a timing report::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_engine.py [workers]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.datasets import DatasetSpec, make_dataset
+from repro.faultsim import CampaignConfig, run_sweep
+from repro.nn import GraphBuilder, initialize
+from repro.quantized import QuantConfig, quantize_model
+from repro.runtime import CampaignEngine, resolve_workers
+
+#: 4 BERs x 2 seeds = 8 independent (BER, seed) units.
+BERS = (1e-6, 3e-6, 1e-5, 3e-5)
+SEEDS = (0, 1)
+
+
+def build_workload():
+    """A mid-sized quantized CNN + data sized so one unit takes ~0.5 s."""
+    b = GraphBuilder("benchcnn", input_shape=(3, 16, 16))
+    x = b.conv2d(b.input_node, 16, kernel=3, padding=1, name="c1")
+    x = b.relu(x, name="r1")
+    x = b.conv2d(x, 24, kernel=3, padding=1, name="c2")
+    x = b.relu(x, name="r2")
+    x = b.maxpool2d(x, kernel=2, stride=2, name="p1")
+    x = b.conv2d(x, 32, kernel=3, padding=1, name="c3")
+    x = b.relu(x, name="r3")
+    x = b.globalavgpool(x, name="gap")
+    x = b.flatten(x, name="fl")
+    graph = b.output(b.linear(x, 8, name="fc"))
+    initialize(graph, 0)
+
+    spec = DatasetSpec(name="bench", classes=8, image_size=16, noise=0.3, seed=3)
+    dataset = make_dataset(spec, train_per_class=16, test_per_class=24)
+    qmodel = quantize_model(
+        graph, dataset.train_x[:96], QuantConfig(width=16), "winograd"
+    )
+    config = CampaignConfig(seeds=SEEDS, batch_size=64, max_samples=192)
+    return qmodel, dataset.test_x, dataset.test_y, config
+
+
+def run_comparison(workers: int = 4) -> dict:
+    """Time serial vs engine execution of the same sweep; verify identity."""
+    qmodel, x, y, config = build_workload()
+    bers = list(BERS)
+
+    start = time.perf_counter()
+    serial = run_sweep(qmodel, x, y, bers, config=config)
+    serial_seconds = time.perf_counter() - start
+
+    engine = CampaignEngine(workers=workers)
+    start = time.perf_counter()
+    parallel = engine.run_sweep(qmodel, x, y, bers, config=config)
+    engine_seconds = time.perf_counter() - start
+
+    identical = [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+    return {
+        "units": len(bers) * len(config.seeds),
+        "workers": engine.workers,
+        "available_cores": resolve_workers(0),
+        "serial_seconds": serial_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": serial_seconds / engine_seconds if engine_seconds else float("inf"),
+        "bit_identical": identical,
+    }
+
+
+def format_report(stats: dict) -> str:
+    return (
+        f"campaign engine benchmark — {stats['units']} (BER, seed) units\n"
+        f"  available cores : {stats['available_cores']}\n"
+        f"  workers         : {stats['workers']}\n"
+        f"  serial          : {stats['serial_seconds']:.2f} s\n"
+        f"  engine          : {stats['engine_seconds']:.2f} s\n"
+        f"  speedup         : {stats['speedup']:.2f}x\n"
+        f"  bit-identical   : {stats['bit_identical']}"
+    )
+
+
+def test_campaign_engine_speedup():
+    """>= 2x on 4 workers with >= 4 cores; always bit-identical."""
+    import pytest
+
+    stats = run_comparison(workers=4)
+    print()
+    print(format_report(stats))
+    assert stats["bit_identical"], "engine results diverged from serial"
+    if stats["available_cores"] < 4:
+        pytest.skip(
+            f"speedup needs >= 4 cores, machine has {stats['available_cores']}"
+        )
+    assert stats["speedup"] >= 2.0, (
+        f"expected >= 2x speedup with 4 workers, got {stats['speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    np.random.seed(0)
+    requested = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    print(format_report(run_comparison(workers=requested)))

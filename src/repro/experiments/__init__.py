@@ -6,6 +6,7 @@ from repro.experiments.common import (
     ExperimentProfile,
     PreparedBenchmark,
     accuracy_curve,
+    make_engine,
     pick_cliff_ber,
     prepare_benchmark,
     quantized_pair,
@@ -17,6 +18,7 @@ __all__ = [
     "QUICK",
     "FULL",
     "PreparedBenchmark",
+    "make_engine",
     "prepare_benchmark",
     "quantized_pair",
     "accuracy_curve",

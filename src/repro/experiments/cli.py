@@ -6,9 +6,10 @@ Run a single figure with the quick profile::
 
     python -m repro.experiments.cli fig2
 
-Run everything at full fidelity::
+Run everything at full fidelity on all cores, resuming any interrupted
+campaign from its checkpoint::
 
-    python -m repro.experiments.cli all --profile full
+    python -m repro.experiments.cli all --profile full --workers 0 --resume
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ import argparse
 import sys
 
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7
-from repro.experiments.common import FULL, QUICK
+from repro.experiments.common import FULL, QUICK, make_engine
+from repro.runtime import stream_reporter
 
 _FIGURES = {
     "fig1": fig1,
@@ -48,9 +50,38 @@ def main(argv: list[str] | None = None) -> int:
         default="quick",
         help="evaluation budget (default: quick)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaign worker processes; 0 = all visible cores (default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume completed (BER, seed) points from the campaign checkpoint",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="campaign checkpoint file (default: <results>/checkpoints/campaign.json)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-point campaign progress to stderr",
+    )
     args = parser.parse_args(argv)
 
     profile = FULL if args.profile == "full" else QUICK
+    engine = make_engine(
+        workers=args.workers,
+        resume=args.resume,
+        checkpoint=args.checkpoint,
+        progress=stream_reporter() if args.progress else None,
+    )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:
         if name == "headline":
@@ -60,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
             print()
             continue
         module = _FIGURES[name]
-        payload = module.run(profile=profile)
+        payload = module.run(profile=profile, engine=engine)
         print(module.format_report(payload))
         print()
     return 0

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.datasets import SyntheticDataset, make_dataset
 from repro.faultsim import CampaignConfig, CampaignResult, run_sweep
+from repro.runtime import CampaignEngine
 from repro.models import BENCHMARKS, build_benchmark_model
 from repro.nn import Adam, TrainConfig, evaluate_accuracy, initialize, train
 from repro.quantized import QuantConfig, QuantizedModel, quantize_model
@@ -38,6 +39,7 @@ __all__ = [
     "FULL",
     "PreparedBenchmark",
     "results_dir",
+    "make_engine",
     "prepare_benchmark",
     "quantized_pair",
     "accuracy_curve",
@@ -48,6 +50,23 @@ __all__ = [
 def results_dir() -> Path:
     """Root directory for cached artifacts (override with ``REPRO_RESULTS``)."""
     return Path(os.environ.get("REPRO_RESULTS", "results"))
+
+
+def make_engine(
+    workers: int | None = 1,
+    resume: bool = False,
+    checkpoint: str | Path | None = None,
+    progress=None,
+) -> CampaignEngine:
+    """Campaign engine with the default checkpoint under ``results_dir()``.
+
+    The shared checkpoint file is safe across figures and models: points
+    are keyed by a content hash of (model, campaign, BER, seed).
+    """
+    path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
+    return CampaignEngine(
+        workers=workers, checkpoint_path=path, resume=resume, progress=progress
+    )
 
 
 @dataclass(frozen=True)
@@ -215,8 +234,15 @@ def accuracy_curve(
     bers: list[float],
     config: CampaignConfig,
     use_cache: bool = True,
+    engine: CampaignEngine | None = None,
 ) -> list[CampaignResult]:
-    """Accuracy-vs-BER sweep with JSON result caching."""
+    """Accuracy-vs-BER sweep with JSON result caching.
+
+    When ``engine`` is provided the sweep's (BER, seed) units are executed
+    through the :class:`~repro.runtime.CampaignEngine` (sharded workers,
+    point-level checkpoint/resume); results are bit-identical to the serial
+    path, so the curve cache is shared between both.
+    """
     key = _curve_cache_key(qmodel, bers, config)
     cache = results_dir() / "curves" / f"{key}.json"
     if use_cache and cache.exists():
@@ -232,13 +258,18 @@ def accuracy_curve(
             )
             for row in rows
         ]
-    results = run_sweep(
-        qmodel,
-        prep.eval_x,
-        prep.eval_y,
-        bers,
-        config=config,
-    )
+    if engine is not None:
+        results = engine.run_sweep(
+            qmodel, prep.eval_x, prep.eval_y, bers, config=config
+        )
+    else:
+        results = run_sweep(
+            qmodel,
+            prep.eval_x,
+            prep.eval_y,
+            bers,
+            config=config,
+        )
     save_json(cache, [r.to_dict() for r in results])
     return results
 

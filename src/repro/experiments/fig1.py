@@ -23,7 +23,12 @@ from repro.utils.serialization import save_json
 __all__ = ["run", "format_report"]
 
 
-def run(profile: ExperimentProfile = QUICK, benchmark: str = "vgg19", width: int = 16) -> dict:
+def run(
+    profile: ExperimentProfile = QUICK,
+    benchmark: str = "vgg19",
+    width: int = 16,
+    engine=None,
+) -> dict:
     """Execute the Fig. 1 experiment; returns the four accuracy series."""
     prep = prepare_benchmark(benchmark, profile)
     qm_st, qm_wg = quantized_pair(prep, width, profile)
@@ -33,7 +38,7 @@ def run(profile: ExperimentProfile = QUICK, benchmark: str = "vgg19", width: int
     for injector in ("operation", "neuron"):
         config = profile.campaign(injector)
         for qm, mode in ((qm_st, "standard"), (qm_wg, "winograd")):
-            results = accuracy_curve(qm, prep, bers, config)
+            results = accuracy_curve(qm, prep, bers, config, engine=engine)
             series[f"{mode}/{injector}"] = [r.to_dict() for r in results]
 
     payload = {

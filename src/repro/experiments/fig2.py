@@ -27,6 +27,7 @@ def run(
     profile: ExperimentProfile = QUICK,
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     widths: tuple[int, ...] = (8, 16),
+    engine=None,
 ) -> dict:
     """Execute the Fig. 2 experiment for the selected benchmarks/widths."""
     config = profile.campaign()
@@ -37,8 +38,8 @@ def run(
         panel: dict = {"paper_label": prep.paper_label, "widths": {}}
         for width in widths:
             qm_st, qm_wg = quantized_pair(prep, width, profile)
-            st = accuracy_curve(qm_st, prep, bers, config)
-            wg = accuracy_curve(qm_wg, prep, bers, config)
+            st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
+            wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
             improvement = [
                 w.mean_accuracy - s.mean_accuracy for s, w in zip(st, wg)
             ]

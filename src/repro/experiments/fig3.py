@@ -29,6 +29,7 @@ def run(
     benchmark: str = "vgg19",
     width: int = 16,
     ber: float | None = None,
+    engine=None,
 ) -> dict:
     """Execute the Fig. 3 experiment (layer-wise fault-free accuracy)."""
     prep = prepare_benchmark(benchmark, profile)
@@ -36,7 +37,9 @@ def run(
     config = profile.campaign()
 
     if ber is None:
-        st_curve = accuracy_curve(qm_st, prep, list(profile.ber_grid), config)
+        st_curve = accuracy_curve(
+            qm_st, prep, list(profile.ber_grid), config, engine=engine
+        )
         ber = pick_cliff_ber(
             st_curve, qm_st.metadata["fault_free_accuracy"], target_fraction=0.6
         )

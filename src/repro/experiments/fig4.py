@@ -32,6 +32,7 @@ def run(
     profile: ExperimentProfile = QUICK,
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     widths: tuple[int, ...] = (8, 16),
+    engine=None,
 ) -> dict:
     """Execute the Fig. 4 experiment."""
     config = profile.campaign()
@@ -42,7 +43,9 @@ def run(
         y = prep.eval_y[: profile.eval_samples]
         for width in widths:
             qm_st, qm_wg = quantized_pair(prep, width, profile)
-            st_curve = accuracy_curve(qm_st, prep, list(profile.ber_grid), config)
+            st_curve = accuracy_curve(
+                qm_st, prep, list(profile.ber_grid), config, engine=engine
+            )
             ber = pick_cliff_ber(
                 st_curve, qm_st.metadata["fault_free_accuracy"], target_fraction=0.6
             )

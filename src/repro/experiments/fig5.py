@@ -36,6 +36,7 @@ def run(
     ber: float | None = None,
     goal_fractions: tuple[float, ...] = GOAL_FRACTIONS,
     step: float = 0.5,
+    engine=None,
 ) -> dict:
     """Execute the Fig. 5 experiment."""
     prep = prepare_benchmark(benchmark, profile)
@@ -43,7 +44,9 @@ def run(
     config = profile.campaign()
 
     if ber is None:
-        st_curve = accuracy_curve(qm_st, prep, list(profile.ber_grid), config)
+        st_curve = accuracy_curve(
+            qm_st, prep, list(profile.ber_grid), config, engine=engine
+        )
         ber = pick_cliff_ber(
             st_curve, qm_st.metadata["fault_free_accuracy"], target_fraction=0.6
         )

@@ -43,13 +43,13 @@ def calibrated_vber(qm_standard) -> VoltageBerModel:
 
 
 def build_accuracy_curves(
-    prep, qm_st, qm_wg, profile: ExperimentProfile
+    prep, qm_st, qm_wg, profile: ExperimentProfile, engine=None
 ) -> tuple[AccuracyCurve, AccuracyCurve]:
     """Accuracy-vs-BER curves for both execution modes (cached sweeps)."""
     config = profile.campaign()
     bers = list(profile.ber_grid)
-    st = accuracy_curve(qm_st, prep, bers, config)
-    wg = accuracy_curve(qm_wg, prep, bers, config)
+    st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
+    wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
     curve_st = AccuracyCurve(
         [r.ber for r in st],
         [r.mean_accuracy for r in st],
@@ -68,12 +68,13 @@ def run(
     benchmark: str = "vgg19",
     width: int = 16,
     voltage_points: int = 21,
+    engine=None,
 ) -> dict:
     """Execute the Fig. 6 experiment."""
     prep = prepare_benchmark(benchmark, profile)
     qm_st, qm_wg = quantized_pair(prep, width, profile)
     vber = calibrated_vber(qm_st)
-    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile)
+    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile, engine=engine)
 
     # The paper plots 0.77-0.82 V; sample that window within our range.
     voltages = np.linspace(0.77, 0.82, voltage_points)

@@ -34,12 +34,13 @@ def run(
     benchmark: str = "vgg19",
     width: int = 16,
     accuracy_losses: tuple[float, ...] = ACCURACY_LOSSES,
+    engine=None,
 ) -> dict:
     """Execute the Fig. 7 experiment."""
     prep = prepare_benchmark(benchmark, profile)
     qm_st, qm_wg = quantized_pair(prep, width, profile)
     vber = calibrated_vber(qm_st)
-    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile)
+    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile, engine=engine)
 
     timing_st = simulate_network(qm_st, DNN_ENGINE)
     timing_wg = simulate_network(qm_wg, DNN_ENGINE)

@@ -20,6 +20,10 @@ from repro.faultsim.campaign import (
     CampaignResult,
     INJECTOR_NEURON,
     INJECTOR_OPERATION,
+    SeedPointResult,
+    campaign_lambda,
+    combine_seed_results,
+    evaluate_seed_point,
     run_point,
     run_sweep,
 )
@@ -42,8 +46,12 @@ __all__ = [
     "register_flip_delta",
     "CampaignConfig",
     "CampaignResult",
+    "SeedPointResult",
     "INJECTOR_OPERATION",
     "INJECTOR_NEURON",
+    "campaign_lambda",
+    "combine_seed_results",
+    "evaluate_seed_point",
     "run_point",
     "run_sweep",
 ]

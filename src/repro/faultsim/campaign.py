@@ -4,6 +4,14 @@ A campaign evaluates a quantized model's accuracy under fault injection for
 one or more bit error rates, averaging over independent seeds.  Results
 carry both the raw BER and the expected-faults-per-inference (lambda),
 which is the axis that transfers across model scales (see DESIGN.md §2).
+
+The module is factored around one *pure* unit of work,
+:func:`evaluate_seed_point`: the accuracy of one (BER, seed) pair depends
+only on its arguments, never on any other point of the sweep.  That makes
+each unit independently dispatchable — the parallel campaign engine
+(:mod:`repro.runtime`) shards units across a worker pool and recombines
+them with :func:`combine_seed_results`, bit-identical to the serial loop in
+:func:`run_point`.
 """
 
 from __future__ import annotations
@@ -19,7 +27,16 @@ from repro.faultsim.protection import ProtectionPlan
 from repro.faultsim.sites import expected_faults_per_image
 from repro.quantized.qmodel import QuantizedModel
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_point", "run_sweep"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "SeedPointResult",
+    "campaign_lambda",
+    "combine_seed_results",
+    "evaluate_seed_point",
+    "run_point",
+    "run_sweep",
+]
 
 INJECTOR_OPERATION = "operation"
 INJECTOR_NEURON = "neuron"
@@ -60,6 +77,35 @@ class CampaignResult:
         }
 
 
+@dataclass(frozen=True)
+class SeedPointResult:
+    """Outcome of one (BER, seed) evaluation — the atomic campaign unit."""
+
+    ber: float
+    seed: int
+    accuracy: float
+    events: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint record)."""
+        return {
+            "ber": self.ber,
+            "seed": self.seed,
+            "accuracy": self.accuracy,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "SeedPointResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ber=float(row["ber"]),
+            seed=int(row["seed"]),
+            accuracy=float(row["accuracy"]),
+            events=int(row["events"]),
+        )
+
+
 def _make_injector(config: CampaignConfig, ber: float, seed: int, protection):
     if config.injector == INJECTOR_NEURON:
         return NeuronLevelInjector(ber, seed=seed, config=config.fault_config)
@@ -68,6 +114,79 @@ def _make_injector(config: CampaignConfig, ber: float, seed: int, protection):
             ber, seed=seed, config=config.fault_config, protection=protection
         )
     raise ValueError(f"unknown injector kind '{config.injector}'")
+
+
+def evaluate_seed_point(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    seed: int,
+    config: CampaignConfig | None = None,
+    protection: ProtectionPlan | None = None,
+) -> SeedPointResult:
+    """Evaluate accuracy for exactly one (BER, seed) pair.
+
+    Pure with respect to the sweep: the result depends only on the
+    arguments (the injector owns its RNG, seeded here), so units may be
+    executed in any order or on any process and recombined afterwards.
+    """
+    config = config or CampaignConfig()
+    if config.max_samples is not None:
+        x, labels = x[: config.max_samples], labels[: config.max_samples]
+    if ber == 0.0:
+        accuracy = qmodel.evaluate(x, labels, batch_size=config.batch_size)
+        return SeedPointResult(ber=ber, seed=seed, accuracy=float(accuracy), events=0)
+    injector = _make_injector(config, ber, seed, protection)
+    accuracy = qmodel.evaluate(
+        x, labels, injector=injector, batch_size=config.batch_size
+    )
+    return SeedPointResult(
+        ber=ber,
+        seed=seed,
+        accuracy=float(accuracy),
+        events=int(sum(injector.event_counts.values())),
+    )
+
+
+def campaign_lambda(
+    qmodel: QuantizedModel,
+    ber: float,
+    config: CampaignConfig,
+    protection: ProtectionPlan | None = None,
+) -> float:
+    """Expected faults per inference for one BER under this campaign."""
+    if config.injector == INJECTOR_OPERATION:
+        lam = expected_faults_per_image(qmodel, ber, config.fault_config, protection)
+    else:
+        lam = ber * sum(
+            np.prod(layer.out_shape) * layer.out_fmt.width
+            for layer in qmodel.injectable_layers()
+        )
+    return float(lam)
+
+
+def combine_seed_results(
+    qmodel: QuantizedModel,
+    ber: float,
+    seed_results: list[SeedPointResult],
+    config: CampaignConfig,
+    protection: ProtectionPlan | None = None,
+) -> CampaignResult:
+    """Fold per-seed results (in campaign seed order) into a CampaignResult.
+
+    The statistics are computed exactly as the serial loop computes them, so
+    engine-recombined sweeps are bit-identical to :func:`run_point`.
+    """
+    accuracies = [r.accuracy for r in seed_results]
+    return CampaignResult(
+        ber=ber,
+        lam=campaign_lambda(qmodel, ber, config, protection),
+        mean_accuracy=float(np.mean(accuracies)),
+        std_accuracy=float(np.std(accuracies)),
+        per_seed=[float(a) for a in accuracies],
+        events_per_seed=[r.events for r in seed_results],
+    )
 
 
 def run_point(
@@ -80,39 +199,13 @@ def run_point(
 ) -> CampaignResult:
     """Evaluate accuracy at one BER, averaged over the configured seeds."""
     config = config or CampaignConfig()
-    if config.max_samples is not None:
-        x, labels = x[: config.max_samples], labels[: config.max_samples]
-
-    accuracies, events = [], []
-    for seed in config.seeds:
-        if ber == 0.0:
-            accuracy = qmodel.evaluate(x, labels, batch_size=config.batch_size)
-            accuracies.append(accuracy)
-            events.append(0)
-            continue
-        injector = _make_injector(config, ber, seed, protection)
-        accuracy = qmodel.evaluate(
-            x, labels, injector=injector, batch_size=config.batch_size
+    seed_results = [
+        evaluate_seed_point(
+            qmodel, x, labels, ber, seed, config=config, protection=protection
         )
-        accuracies.append(accuracy)
-        events.append(int(sum(injector.event_counts.values())))
-
-    lam = (
-        expected_faults_per_image(qmodel, ber, config.fault_config, protection)
-        if config.injector == INJECTOR_OPERATION
-        else ber * sum(
-            np.prod(layer.out_shape) * layer.out_fmt.width
-            for layer in qmodel.injectable_layers()
-        )
-    )
-    return CampaignResult(
-        ber=ber,
-        lam=float(lam),
-        mean_accuracy=float(np.mean(accuracies)),
-        std_accuracy=float(np.std(accuracies)),
-        per_seed=[float(a) for a in accuracies],
-        events_per_seed=events,
-    )
+        for seed in config.seeds
+    ]
+    return combine_seed_results(qmodel, ber, seed_results, config, protection)
 
 
 def run_sweep(

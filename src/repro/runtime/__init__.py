@@ -1,0 +1,40 @@
+"""Campaign execution runtime: sharded workers, checkpointing, resume.
+
+This package turns the serial Monte-Carlo sweeps of :mod:`repro.faultsim`
+into an interruptible, parallel service: :class:`CampaignEngine` dispatches
+independent (BER, seed) units across a process pool, records every
+completed unit in a content-addressed JSON checkpoint and resumes from it,
+while guaranteeing results bit-identical to serial execution.
+"""
+
+from repro.runtime.checkpoint import CampaignCheckpoint
+from repro.runtime.engine import CampaignEngine, SweepStats, resolve_workers
+from repro.runtime.hashing import (
+    campaign_fingerprint,
+    data_fingerprint,
+    model_fingerprint,
+    point_key,
+)
+from repro.runtime.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    ThroughputMeter,
+    null_reporter,
+    stream_reporter,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignCheckpoint",
+    "SweepStats",
+    "resolve_workers",
+    "model_fingerprint",
+    "campaign_fingerprint",
+    "data_fingerprint",
+    "point_key",
+    "ProgressEvent",
+    "ProgressReporter",
+    "ThroughputMeter",
+    "null_reporter",
+    "stream_reporter",
+]

@@ -1,0 +1,116 @@
+"""JSON checkpoint store for interruptible campaign sweeps.
+
+The engine records every completed (BER, seed) unit under its content-hash
+key (:mod:`repro.runtime.hashing`).  A sweep that dies mid-flight leaves a
+valid checkpoint behind — writes go to a temp file and are atomically
+renamed into place — and a resumed engine replays the completed units from
+disk instead of recomputing them.
+
+File format (version 1)::
+
+    {
+      "version": 1,
+      "points": {
+        "<point-key>": {"ber": 1e-6, "seed": 0, "accuracy": 0.81, "events": 42},
+        ...
+      }
+    }
+
+Keys already encode model + campaign + point content, so one checkpoint
+file can safely accumulate points from many sweeps (e.g. standard and
+Winograd curves of several figures) without collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.faultsim.campaign import SeedPointResult
+
+__all__ = ["CampaignCheckpoint"]
+
+_VERSION = 1
+
+
+class CampaignCheckpoint:
+    """Append-mostly map of point-key -> :class:`SeedPointResult` on disk.
+
+    An existing file is always loaded and merged into, never truncated:
+    whether cached points are *served* back to a sweep is the engine's
+    ``resume`` policy, but completed work is never discarded (recomputed
+    units simply overwrite their own keys).
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 1):
+        self.path = Path(path)
+        self.flush_every = max(1, int(flush_every))
+        self._points: dict[str, SeedPointResult] = {}
+        self._dirty = 0
+        if self.path.exists():
+            self._points = self._load()
+
+    def _load(self) -> dict[str, SeedPointResult]:
+        with open(self.path, encoding="utf-8") as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as exc:
+                # Atomic writes mean this only happens to hand-edited files;
+                # refuse loudly rather than silently discarding the points.
+                raise ConfigurationError(
+                    f"checkpoint {self.path} is not valid JSON ({exc}); "
+                    "repair it or delete it to start fresh"
+                ) from exc
+        if doc.get("version") != _VERSION:
+            raise ConfigurationError(
+                f"checkpoint {self.path} has unsupported version {doc.get('version')!r}"
+            )
+        return {
+            key: SeedPointResult.from_dict(row)
+            for key, row in doc.get("points", {}).items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._points
+
+    def get(self, key: str) -> SeedPointResult | None:
+        """Completed result for ``key``, or None if not checkpointed."""
+        return self._points.get(key)
+
+    def put(self, key: str, result: SeedPointResult) -> None:
+        """Record a completed unit; flushes every ``flush_every`` puts."""
+        self._points[key] = result
+        self._dirty += 1
+        if self._dirty >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist the current state (temp file + rename).
+
+        A no-op when nothing changed since the last flush.  Before writing,
+        the on-disk file is re-read and merged under our points, so two
+        processes sharing one checkpoint cannot erase each other's work
+        (per-key last-writer-wins remains, but keys are content hashes of
+        deterministic computations — both writers hold the same value).
+        """
+        if self._dirty == 0:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            for key, result in self._load().items():
+                self._points.setdefault(key, result)
+        doc = {
+            "version": _VERSION,
+            "points": {key: r.to_dict() for key, r in sorted(self._points.items())},
+        }
+        tmp = self.path.with_suffix(f"{self.path.suffix}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+        self._dirty = 0

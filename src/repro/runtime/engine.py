@@ -1,0 +1,324 @@
+"""Parallel campaign execution engine.
+
+:class:`CampaignEngine` runs the same Monte-Carlo sweeps as
+:func:`repro.faultsim.run_sweep`, but shards the sweep's (BER, seed) units
+across a ``multiprocessing`` worker pool, checkpoints every completed unit
+to disk, and resumes interrupted sweeps from that checkpoint.
+
+Determinism contract
+--------------------
+Each unit (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG seed
+and touches no shared mutable state, so scheduling cannot change any
+result: an engine sweep with any worker count — or any mix of live and
+checkpointed units — is **bit-identical** to the serial
+:func:`repro.faultsim.run_sweep`.  ``workers=1`` runs the units in-process
+without a pool and is the serial path itself.
+
+Worker-pool mechanics
+---------------------
+Workers are forked (POSIX) *after* the parent publishes the evaluation
+payload (model, data, config) in a module global, so the payload crosses
+into children via copy-on-write page sharing rather than per-task
+pickling — the model and evaluation batch are megabytes, the unit
+descriptor a few bytes.  On platforms without ``fork`` the engine degrades
+to the serial path rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.faultsim.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    SeedPointResult,
+    combine_seed_results,
+    evaluate_seed_point,
+)
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.qmodel import QuantizedModel
+from repro.runtime.checkpoint import CampaignCheckpoint
+from repro.runtime.hashing import (
+    campaign_fingerprint,
+    data_fingerprint,
+    model_fingerprint,
+    point_key,
+)
+from repro.runtime.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    ThroughputMeter,
+    null_reporter,
+)
+
+__all__ = ["CampaignEngine", "SweepStats", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request (None/0 = all visible cores)."""
+    if workers is None or workers <= 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:
+            return os.cpu_count() or 1
+    return int(workers)
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for the engine's most recent sweep."""
+
+    total_units: int = 0
+    computed_units: int = 0
+    cached_units: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "total_units": self.total_units,
+            "computed_units": self.computed_units,
+            "cached_units": self.cached_units,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+#: Payload published to forked workers (set only while a pool is alive).
+_WORKER_PAYLOAD: tuple | None = None
+
+
+def _run_unit(unit: tuple[int, float, int]) -> tuple[int, float, int, float]:
+    """Evaluate one (BER, seed) unit inside a worker process."""
+    index, ber, seed = unit
+    qmodel, x, labels, config, protection = _WORKER_PAYLOAD
+    start = time.perf_counter()
+    result = evaluate_seed_point(
+        qmodel, x, labels, ber, seed, config=config, protection=protection
+    )
+    return index, result.accuracy, result.events, time.perf_counter() - start
+
+
+class CampaignEngine:
+    """Sharded, checkpointed executor for fault-injection sweeps.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``1`` (default) runs serially in-process;
+        ``None``/``0`` uses every visible core.
+    checkpoint_path:
+        Optional JSON checkpoint file.  When set, every completed unit is
+        recorded there; content-hash keys make the file safe to share
+        across models, campaigns and sweeps.
+    resume:
+        When True and the checkpoint file exists, previously completed
+        units are served from it instead of recomputed.  When False every
+        unit is recomputed, but the checkpoint still *merges*: existing
+        points are preserved (recomputed units overwrite their own keys).
+    flush_every:
+        Checkpoint flush cadence in completed units (1 = every unit).
+    progress:
+        Optional callable receiving a :class:`ProgressEvent` per completed
+        unit (see :func:`repro.runtime.progress.stream_reporter`).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = False,
+        flush_every: int = 1,
+        progress: ProgressReporter | None = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.resume = resume
+        self.flush_every = flush_every
+        self.progress = progress or null_reporter
+        self.last_stats = SweepStats()
+
+    # --- public API --------------------------------------------------------------
+    def run_point(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        ber: float,
+        config: CampaignConfig | None = None,
+        protection: ProtectionPlan | None = None,
+    ) -> CampaignResult:
+        """Engine-executed equivalent of :func:`repro.faultsim.run_point`."""
+        return self.run_sweep(qmodel, x, labels, [ber], config, protection)[0]
+
+    def run_sweep(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        bers: list[float],
+        config: CampaignConfig | None = None,
+        protection: ProtectionPlan | None = None,
+    ) -> list[CampaignResult]:
+        """Engine-executed equivalent of :func:`repro.faultsim.run_sweep`.
+
+        Returns one :class:`CampaignResult` per BER, in input order,
+        bit-identical to serial execution.
+        """
+        config = config or CampaignConfig()
+        meter = ThroughputMeter()
+
+        # Unit table: index -> (ber, seed), ordered ber-major then seed so
+        # recombination reads contiguous slices.
+        units = [
+            (ber, seed) for ber in bers for seed in config.seeds
+        ]
+        keys = self._point_keys(qmodel, x, labels, units, config, protection)
+        checkpoint = self._open_checkpoint()
+
+        # Cached points are only *served* under the resume policy; the
+        # checkpoint itself always merges (completed work is never wiped).
+        serve_cache = checkpoint is not None and self.resume
+        slots: list[SeedPointResult | None] = [None] * len(units)
+        pending: list[tuple[int, float, int]] = []
+        for index, (ber, seed) in enumerate(units):
+            cached = checkpoint.get(keys[index]) if serve_cache else None
+            if cached is not None:
+                slots[index] = cached
+            else:
+                pending.append((index, ber, seed))
+
+        done = 0
+        for result in slots:
+            if result is not None:
+                done += 1
+                self._report(meter, done, len(units), result, cached=True, elapsed=0.0)
+
+        payload = (qmodel, x, labels, config, protection)
+        if pending:
+            executor = (
+                self._run_parallel
+                if self.workers > 1 and len(pending) > 1 and _fork_context() is not None
+                else self._run_serial
+            )
+            for index, result, elapsed in executor(payload, pending):
+                slots[index] = result
+                done += 1
+                if checkpoint is not None:
+                    checkpoint.put(keys[index], result)
+                self._report(meter, done, len(units), result, cached=False, elapsed=elapsed)
+        if checkpoint is not None:
+            checkpoint.flush()
+
+        self.last_stats = SweepStats(
+            total_units=len(units),
+            computed_units=len(pending),
+            cached_units=len(units) - len(pending),
+            workers=self.workers,
+            elapsed_seconds=meter.elapsed,
+        )
+
+        n_seeds = len(config.seeds)
+        return [
+            combine_seed_results(
+                qmodel,
+                ber,
+                slots[i * n_seeds : (i + 1) * n_seeds],
+                config,
+                protection,
+            )
+            for i, ber in enumerate(bers)
+        ]
+
+    # --- internals ---------------------------------------------------------------
+    def _open_checkpoint(self) -> CampaignCheckpoint | None:
+        if self.checkpoint_path is None:
+            return None
+        return CampaignCheckpoint(self.checkpoint_path, flush_every=self.flush_every)
+
+    def _point_keys(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        units: list[tuple[float, int]],
+        config: CampaignConfig,
+        protection: ProtectionPlan | None,
+    ) -> list[str]:
+        if self.checkpoint_path is None:
+            return [""] * len(units)
+        if config.max_samples is not None:
+            # Hash what the unit actually evaluates (post-trim).
+            x, labels = x[: config.max_samples], labels[: config.max_samples]
+        model_fp = model_fingerprint(qmodel)
+        campaign_fp = campaign_fingerprint(config, protection)
+        data_fp = data_fingerprint(x, labels)
+        return [
+            point_key(model_fp, campaign_fp, data_fp, ber, seed)
+            for ber, seed in units
+        ]
+
+    def _report(
+        self,
+        meter: ThroughputMeter,
+        done: int,
+        total: int,
+        result: SeedPointResult,
+        cached: bool,
+        elapsed: float,
+    ) -> None:
+        meter.tick()
+        self.progress(
+            ProgressEvent(
+                done=done,
+                total=total,
+                ber=result.ber,
+                seed=result.seed,
+                accuracy=result.accuracy,
+                cached=cached,
+                elapsed=elapsed,
+            )
+        )
+
+    def _run_serial(self, payload: tuple, pending: list[tuple[int, float, int]]):
+        qmodel, x, labels, config, protection = payload
+        for index, ber, seed in pending:
+            start = time.perf_counter()
+            result = evaluate_seed_point(
+                qmodel, x, labels, ber, seed, config=config, protection=protection
+            )
+            yield index, result, time.perf_counter() - start
+
+    def _run_parallel(self, payload: tuple, pending: list[tuple[int, float, int]]):
+        global _WORKER_PAYLOAD
+        ctx = _fork_context()
+        processes = min(self.workers, len(pending))
+        unit_by_index = {index: (ber, seed) for index, ber, seed in pending}
+        # Publish before fork so children inherit by copy-on-write.
+        _WORKER_PAYLOAD = payload
+        try:
+            with ctx.Pool(processes=processes) as pool:
+                for index, accuracy, events, elapsed in pool.imap_unordered(
+                    _run_unit, pending, chunksize=1
+                ):
+                    ber, seed = unit_by_index[index]
+                    yield index, SeedPointResult(
+                        ber=ber, seed=seed, accuracy=accuracy, events=events
+                    ), elapsed
+        finally:
+            _WORKER_PAYLOAD = None
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None when unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None

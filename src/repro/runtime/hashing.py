@@ -1,0 +1,115 @@
+"""Content hashing for campaign checkpoints.
+
+A checkpoint entry is only reusable when the *entire* computation that
+produced it is unchanged: the quantized model (structure and weights), the
+campaign configuration (injector, fault model, protection, sample budget),
+the evaluation data and the (BER, seed) point itself.  Each of those
+contributes to the point key; any drift produces a different key and the
+point is recomputed rather than silently served stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.faultsim.campaign import CampaignConfig
+from repro.faultsim.protection import ProtectionPlan
+from repro.quantized.qmodel import QuantizedModel
+
+__all__ = [
+    "model_fingerprint",
+    "campaign_fingerprint",
+    "data_fingerprint",
+    "point_key",
+]
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def model_fingerprint(qmodel: QuantizedModel) -> str:
+    """Stable digest of a quantized model's structure, weights and formats.
+
+    Hashing the integer weights *and* every node's activation format (not
+    just the config) means a retrained or re-calibrated model invalidates
+    old checkpoints automatically: recalibration can leave ``weight_int``
+    unchanged while shifting the per-node fixed-point exponents.
+    """
+    weights = hashlib.sha256()
+    for node in qmodel.injectable_layers():
+        weights.update(node.name.encode())
+        weights.update(node.weight_int.tobytes())
+    formats = [
+        (n.name, n.op, n.out_fmt.width, n.out_fmt.frac)
+        for n in qmodel.nodes
+        if getattr(n, "out_fmt", None) is not None
+    ]
+    payload = {
+        "name": qmodel.name,
+        "benchmark": qmodel.metadata.get("benchmark", qmodel.name),
+        "conv_mode": qmodel.conv_mode,
+        "input_shape": list(qmodel.input_shape),
+        "width": qmodel.config.width,
+        "acc_guard": qmodel.config.acc_guard,
+        "calibration": qmodel.config.calibration,
+        "percentile": qmodel.config.percentile,
+        "wg_tile": qmodel.config.wg_tile,
+        "nodes": [(n.name, n.op) for n in qmodel.nodes],
+        "formats": formats,
+        "weights": weights.hexdigest(),
+    }
+    return _digest(payload)
+
+
+def campaign_fingerprint(
+    config: CampaignConfig, protection: ProtectionPlan | None = None
+) -> str:
+    """Stable digest of everything in a campaign except the swept point.
+
+    ``seeds`` is deliberately excluded: the seed is part of the point, so a
+    sweep re-run with extra seeds still reuses the points it already has.
+    """
+    fc = config.fault_config
+    payload = {
+        "batch_size": config.batch_size,
+        "injector": config.injector,
+        "max_samples": config.max_samples,
+        "semantics": fc.semantics.value,
+        "convention": fc.convention.value,
+        "max_events": fc.max_events_per_category,
+        "amplify": fc.amplify_input_transform_adds,
+        "protection": list(protection.cache_key()) if protection is not None else None,
+    }
+    return _digest(payload)
+
+
+def data_fingerprint(x, labels) -> str:
+    """Stable digest of the evaluation batch a point is scored on.
+
+    The engine hashes the arrays *after* ``max_samples`` trimming, i.e. the
+    exact inputs of the unit of work, so a different evaluation set can
+    never be served another set's cached accuracies.
+    """
+    digest = hashlib.sha256()
+    for arr in (x, labels):
+        digest.update(str(arr.shape).encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def point_key(
+    model_fp: str, campaign_fp: str, data_fp: str, ber: float, seed: int
+) -> str:
+    """Checkpoint key for one (model, campaign, data, BER, seed) unit."""
+    payload = {
+        "model": model_fp,
+        "campaign": campaign_fp,
+        "data": data_fp,
+        "ber": float(ber),
+        "seed": int(seed),
+    }
+    return _digest(payload)[:32]

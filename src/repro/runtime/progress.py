@@ -1,0 +1,82 @@
+"""Streaming progress reporting for campaign sweeps.
+
+The engine emits one event per completed unit; the reporter turns them
+into human-readable lines on an arbitrary sink (stderr by default when
+enabled, silent otherwise).  Kept deliberately free of terminal-control
+sequences so output composes with logs and CI transcripts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressReporter",
+    "ThroughputMeter",
+    "stream_reporter",
+    "null_reporter",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed (BER, seed) unit within a sweep."""
+
+    done: int
+    total: int
+    ber: float
+    seed: int
+    accuracy: float
+    cached: bool
+    elapsed: float
+
+
+#: A reporter is any callable consuming ProgressEvents.
+ProgressReporter = Callable[[ProgressEvent], None]
+
+
+def null_reporter(event: ProgressEvent) -> None:
+    """Discard progress events (the default)."""
+
+
+def stream_reporter(stream: TextIO | None = None) -> ProgressReporter:
+    """Reporter writing one line per completed unit to ``stream``."""
+    out = stream or sys.stderr
+
+    def report(event: ProgressEvent) -> None:
+        source = "cache" if event.cached else f"{event.elapsed:5.1f}s"
+        out.write(
+            f"[campaign {event.done:>3}/{event.total}] "
+            f"ber={event.ber:.2e} seed={event.seed} "
+            f"acc={event.accuracy:.4f} ({source})\n"
+        )
+        out.flush()
+
+    return report
+
+
+class ThroughputMeter:
+    """Tracks wall-clock throughput of a sweep (units/second)."""
+
+    def __init__(self) -> None:
+        self.start = time.perf_counter()
+        self.completed = 0
+
+    def tick(self) -> None:
+        """Record one completed unit."""
+        self.completed += 1
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the meter was created."""
+        return time.perf_counter() - self.start
+
+    @property
+    def rate(self) -> float:
+        """Completed units per second (0.0 before the first completion)."""
+        elapsed = self.elapsed
+        return self.completed / elapsed if elapsed > 0 else 0.0

@@ -152,12 +152,14 @@ class WinogradConvContext:
         Tile geometry.
     u_int:
         Transformed input ``B^T d B`` (integer), shape ``(N, C, T, t, t)``;
-        scale ``bt_scale**2`` relative to raw input integers.
+        scale ``bt_scale**2`` relative to raw input integers.  ``None``
+        when the convolution ran with ``keep_intermediates=False``.
     v_int:
         Transformed filters (integer), shape ``(K, C, t, t)``; scale
         ``g_scale**2`` relative to raw weight integers.
     m_int:
         Channel-accumulated element-wise products, shape ``(N, K, T, t, t)``.
+        ``None`` when the convolution ran with ``keep_intermediates=False``.
     y_int:
         Scaled integer output accumulator (before bias/requantization),
         shape ``(N, K, out_h, out_w)``; scale ``output_scale_2d`` relative
@@ -166,9 +168,9 @@ class WinogradConvContext:
 
     transform: WinogradTransform
     grid: TileGrid
-    u_int: np.ndarray
+    u_int: np.ndarray | None
     v_int: np.ndarray
-    m_int: np.ndarray
+    m_int: np.ndarray | None
     y_int: np.ndarray
 
     @property

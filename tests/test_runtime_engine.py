@@ -1,0 +1,317 @@
+"""Tests for the campaign execution engine: sharding, checkpoint, resume.
+
+The engine's contract is bit-identical equivalence with the serial
+:func:`repro.faultsim.run_sweep` under every execution regime — multiple
+workers, checkpoint replay, partial resume — because each (BER, seed) unit
+owns its RNG and the recombination reuses the serial statistics code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faultsim import CampaignConfig, run_sweep
+from repro.runtime import (
+    CampaignCheckpoint,
+    CampaignEngine,
+    campaign_fingerprint,
+    model_fingerprint,
+    point_key,
+)
+from repro.runtime.progress import ProgressEvent
+
+BERS = [1e-5, 3e-5, 1e-4]
+
+
+@pytest.fixture()
+def config():
+    return CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24)
+
+
+def as_dicts(results):
+    return [r.to_dict() for r in results]
+
+
+class TestEngineDeterminism:
+    def test_workers1_matches_serial(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        serial = run_sweep(qm, x, y, BERS, config=config)
+        engine = CampaignEngine(workers=1)
+        assert as_dicts(engine.run_sweep(qm, x, y, BERS, config=config)) == as_dicts(serial)
+
+    def test_multiworker_bit_identical_to_serial(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        serial = run_sweep(qm, x, y, BERS, config=config)
+        engine = CampaignEngine(workers=3)
+        parallel = engine.run_sweep(qm, x, y, BERS, config=config)
+        assert as_dicts(parallel) == as_dicts(serial)
+        assert engine.last_stats.computed_units == len(BERS) * len(config.seeds)
+
+    def test_zero_ber_point(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        serial = run_sweep(qm, x, y, [0.0, 1e-5], config=config)
+        engine = CampaignEngine(workers=2)
+        assert as_dicts(engine.run_sweep(qm, x, y, [0.0, 1e-5], config=config)) == as_dicts(serial)
+
+
+class TestCheckpointResume:
+    def test_resumed_sweep_matches_uninterrupted(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """Interrupt after a prefix of the sweep, restart, compare."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        serial = run_sweep(qm, x, y, BERS, config=config)
+
+        # "Interrupted" run: only the first two BERs complete.
+        first = CampaignEngine(workers=1, checkpoint_path=ckpt)
+        first.run_sweep(qm, x, y, BERS[:2], config=config)
+        assert ckpt.exists()
+
+        # Restarted engine resumes the checkpoint and finishes the sweep.
+        second = CampaignEngine(workers=2, checkpoint_path=ckpt, resume=True)
+        resumed = second.run_sweep(qm, x, y, BERS, config=config)
+        assert as_dicts(resumed) == as_dicts(serial)
+        assert second.last_stats.cached_units == 2 * len(config.seeds)
+        assert second.last_stats.computed_units == 1 * len(config.seeds)
+
+    def test_mid_point_interruption(self, tiny_quantized, tiny_eval, config, tmp_path):
+        """Drop half the checkpointed units (a mid-BER crash) and resume."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        serial = run_sweep(qm, x, y, BERS, config=config)
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS, config=config
+        )
+
+        doc = json.loads(ckpt.read_text())
+        keys = sorted(doc["points"])
+        for key in keys[: len(keys) // 2]:
+            del doc["points"][key]
+        ckpt.write_text(json.dumps(doc))
+
+        engine = CampaignEngine(workers=2, checkpoint_path=ckpt, resume=True)
+        resumed = engine.run_sweep(qm, x, y, BERS, config=config)
+        assert as_dicts(resumed) == as_dicts(serial)
+        assert engine.last_stats.computed_units == len(keys) // 2
+
+    def test_resume_false_recomputes(self, tiny_quantized, tiny_eval, config, tmp_path):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=False)
+        engine.run_sweep(qm, x, y, BERS[:1], config=config)
+        assert engine.last_stats.computed_units == len(config.seeds)
+        assert engine.last_stats.cached_units == 0
+
+    def test_resume_false_preserves_other_sweeps_points(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """A non-resume run must merge into the file, not truncate it."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        CampaignEngine(workers=1, checkpoint_path=ckpt, resume=False).run_sweep(
+            qm, x, y, BERS[1:2], config=config
+        )
+        doc = json.loads(ckpt.read_text())
+        assert len(doc["points"]) == 2 * len(config.seeds)
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
+        resumed = engine.run_sweep(qm, x, y, BERS[:2], config=config)
+        assert engine.last_stats.cached_units == 2 * len(config.seeds)
+        assert as_dicts(resumed) == as_dicts(run_sweep(qm, x, y, BERS[:2], config=config))
+
+    def test_checkpoint_keyed_on_eval_data(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """Different evaluation data must never be served cached points."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        shifted_x, shifted_y = x[1:], y[1:]
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
+        shifted = engine.run_sweep(qm, shifted_x, shifted_y, BERS[:1], config=config)
+        assert engine.last_stats.cached_units == 0
+        assert as_dicts(shifted) == as_dicts(
+            run_sweep(qm, shifted_x, shifted_y, BERS[:1], config=config)
+        )
+
+    def test_checkpoint_not_shared_across_models(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """Standard and Winograd models must not collide in one file."""
+        qm_st, qm_wg = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm_st, x, y, BERS[:1], config=config
+        )
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
+        wg = engine.run_sweep(qm_wg, x, y, BERS[:1], config=config)
+        assert engine.last_stats.cached_units == 0
+        assert as_dicts(wg) == as_dicts(run_sweep(qm_wg, x, y, BERS[:1], config=config))
+
+    def test_checkpoint_file_format(self, tiny_quantized, tiny_eval, config, tmp_path):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        doc = json.loads(ckpt.read_text())
+        assert doc["version"] == 1
+        assert len(doc["points"]) == len(config.seeds)
+        for row in doc["points"].values():
+            assert set(row) == {"ber", "seed", "accuracy", "events"}
+
+
+class TestHashing:
+    def test_point_keys_stable_and_distinct(self, tiny_quantized, tiny_eval, config):
+        from repro.runtime import data_fingerprint
+
+        qm_st, qm_wg = tiny_quantized
+        x, y = tiny_eval
+        model_fp = model_fingerprint(qm_st)
+        camp_fp = campaign_fingerprint(config)
+        data_fp = data_fingerprint(x, y)
+        assert model_fp == model_fingerprint(qm_st)
+        assert model_fp != model_fingerprint(qm_wg)
+        assert data_fp == data_fingerprint(x, y)
+        assert data_fp != data_fingerprint(x[:-1], y[:-1])
+        base = point_key(model_fp, camp_fp, data_fp, 1e-5, 0)
+        assert base == point_key(model_fp, camp_fp, data_fp, 1e-5, 0)
+        assert base != point_key(model_fp, camp_fp, data_fp, 1e-5, 1)
+        assert base != point_key(model_fp, camp_fp, data_fp, 3e-5, 0)
+
+    def test_model_fingerprint_tracks_activation_formats(self, tiny_quantized):
+        """Recalibration can shift node formats without touching weights;
+        the fingerprint must see that."""
+        from repro.fixedpoint import QFormat
+
+        qm, _ = tiny_quantized
+        node = qm.injectable_layers()[0]
+        original = node.out_fmt
+        before = model_fingerprint(qm)
+        try:
+            node.out_fmt = QFormat(original.width, original.frac + 1)
+            assert model_fingerprint(qm) != before
+        finally:
+            node.out_fmt = original
+        assert model_fingerprint(qm) == before
+
+    def test_campaign_fingerprint_ignores_seeds(self, config):
+        more_seeds = CampaignConfig(
+            seeds=(0, 1, 2, 3),
+            batch_size=config.batch_size,
+            max_samples=config.max_samples,
+        )
+        assert campaign_fingerprint(config) == campaign_fingerprint(more_seeds)
+
+    def test_campaign_fingerprint_tracks_budget(self, config):
+        other = CampaignConfig(
+            seeds=config.seeds, batch_size=config.batch_size, max_samples=12
+        )
+        assert campaign_fingerprint(config) != campaign_fingerprint(other)
+
+
+class TestProgressAndCheckpointStore:
+    def test_progress_events_stream(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        events: list[ProgressEvent] = []
+        engine = CampaignEngine(workers=2, progress=events.append)
+        engine.run_sweep(qm, x, y, BERS[:2], config=config)
+        total = 2 * len(config.seeds)
+        assert len(events) == total
+        assert events[-1].done == total and events[-1].total == total
+        assert not any(e.cached for e in events)
+
+    def test_cached_units_reported_as_cached(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        events: list[ProgressEvent] = []
+        engine = CampaignEngine(
+            workers=1, checkpoint_path=ckpt, resume=True, progress=events.append
+        )
+        engine.run_sweep(qm, x, y, BERS[:1], config=config)
+        assert all(e.cached for e in events)
+
+    def test_store_roundtrip(self, tmp_path):
+        from repro.faultsim import SeedPointResult
+
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        result = SeedPointResult(ber=1e-5, seed=3, accuracy=0.5, events=7)
+        store.put("abc", result)
+        reloaded = CampaignCheckpoint(path)
+        assert reloaded.get("abc") == result
+        assert "abc" in reloaded and len(reloaded) == 1
+
+    def test_store_merges_never_truncates(self, tmp_path):
+        from repro.faultsim import SeedPointResult
+
+        path = tmp_path / "ck.json"
+        first = CampaignCheckpoint(path)
+        first.put("aaa", SeedPointResult(ber=1e-5, seed=0, accuracy=0.5, events=1))
+        second = CampaignCheckpoint(path)
+        second.put("bbb", SeedPointResult(ber=3e-5, seed=1, accuracy=0.25, events=2))
+        merged = CampaignCheckpoint(path)
+        assert "aaa" in merged and "bbb" in merged and len(merged) == 2
+
+    def test_store_interleaved_writers_keep_both_points(self, tmp_path):
+        """Two stores opened concurrently must not erase each other's work
+        (flush re-reads the file and merges before rewriting)."""
+        from repro.faultsim import SeedPointResult
+
+        path = tmp_path / "ck.json"
+        a = CampaignCheckpoint(path)
+        b = CampaignCheckpoint(path)  # opened before a writes anything
+        a.put("aaa", SeedPointResult(ber=1e-5, seed=0, accuracy=0.5, events=1))
+        b.put("bbb", SeedPointResult(ber=3e-5, seed=1, accuracy=0.25, events=2))
+        merged = CampaignCheckpoint(path)
+        assert "aaa" in merged and "bbb" in merged and len(merged) == 2
+
+    def test_store_clean_flush_is_noop(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        store.flush()
+        assert not path.exists()
+
+    def test_store_rejects_unknown_version(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "points": {}}))
+        with pytest.raises(ConfigurationError):
+            CampaignCheckpoint(path)
+
+    def test_store_rejects_corrupt_json(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "ck.json"
+        path.write_text("{garbage")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            CampaignCheckpoint(path)

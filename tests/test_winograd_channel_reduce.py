@@ -1,0 +1,110 @@
+"""Exactness tests for the ``_channel_reduce`` fast-path boundary.
+
+The integer Winograd pipeline reduces over channels either as a float64
+BLAS matmul (exact only while every partial product magnitude stays inside
+the 52-bit mantissa) or as an int64 einsum fallback.  The gate is
+``u_max * v_max * c < 2**52`` computed from actual magnitudes; these tests
+construct inputs straddling that threshold and assert both paths remain
+exact against an independent pure-Python integer reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.winograd.conv2d import _channel_reduce
+
+THRESHOLD = 2**52
+
+
+def exact_reference(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Channel reduction with Python big-int arithmetic (overflow-proof)."""
+    n, c, t_count, th, tw = u.shape
+    k = v.shape[0]
+    out = np.zeros((n, k, t_count, th, tw), dtype=np.int64)
+    for ni in range(n):
+        for ki in range(k):
+            for ti in range(t_count):
+                for i in range(th):
+                    for j in range(tw):
+                        total = sum(
+                            int(u[ni, ci, ti, i, j]) * int(v[ki, ci, i, j])
+                            for ci in range(c)
+                        )
+                        out[ni, ki, ti, i, j] = total
+    return out
+
+
+def make_inputs(u_val: int, v_vals: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """(1, C, 1, 2, 2) input and (1, C, 2, 2) filter blocks of constants."""
+    c = len(v_vals)
+    u = np.full((1, c, 1, 2, 2), u_val, dtype=np.int64)
+    v = np.stack(
+        [np.full((2, 2), val, dtype=np.int64) for val in v_vals]
+    ).reshape(1, c, 2, 2)
+    return u, v
+
+
+class RintSpy:
+    """Records whether the float64 fast path (which calls np.rint) ran."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        original = np.rint
+
+        def spy(*args, **kwargs):
+            self.calls += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(np, "rint", spy)
+
+
+class TestChannelReduceBoundary:
+    def test_just_below_threshold_uses_fast_path_exactly(self, monkeypatch):
+        # u_max * v_max * c == 2**52 - 2**26 < 2**52 -> float64 BLAS path.
+        u, v = make_inputs(2**26, [2**26 - 1])
+        assert int(np.abs(u).max()) * int(np.abs(v).max()) * 1 < THRESHOLD
+        spy = RintSpy(monkeypatch)
+        got = _channel_reduce(u, v)
+        assert spy.calls > 0, "expected the float64 fast path"
+        np.testing.assert_array_equal(got, exact_reference(u, v))
+
+    def test_at_threshold_uses_int64_fallback_exactly(self, monkeypatch):
+        # u_max * v_max * c == 2**52 exactly -> the strict < fails -> int64.
+        u, v = make_inputs(2**26, [2**26])
+        assert int(np.abs(u).max()) * int(np.abs(v).max()) * 1 == THRESHOLD
+        spy = RintSpy(monkeypatch)
+        got = _channel_reduce(u, v)
+        assert spy.calls == 0, "expected the int64 fallback"
+        np.testing.assert_array_equal(got, exact_reference(u, v))
+
+    def test_above_threshold_sums_past_float53_stay_exact(self, monkeypatch):
+        # Three channels of odd-valued products: the accumulated sum passes
+        # 2**53 with low-order bits set, which float64 could not represent.
+        u, v = make_inputs(2**26, [2**26 - 1, 2**26 - 3, 2**26 - 5])
+        spy = RintSpy(monkeypatch)
+        got = _channel_reduce(u, v)
+        assert spy.calls == 0, "expected the int64 fallback"
+        ref = exact_reference(u, v)
+        assert int(ref.max()) > 2**53
+        np.testing.assert_array_equal(got, ref)
+
+    def test_negative_magnitudes_gate_on_abs(self, monkeypatch):
+        # Magnitude check must use |u|, |v|: negative extremes at the
+        # threshold must also take the fallback.
+        u, v = make_inputs(-(2**26), [2**26])
+        spy = RintSpy(monkeypatch)
+        got = _channel_reduce(u, v)
+        assert spy.calls == 0, "expected the int64 fallback"
+        np.testing.assert_array_equal(got, exact_reference(u, v))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_small_values_fast_path(self, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        u = rng.integers(-(2**15), 2**15, size=(2, 4, 3, 4, 4)).astype(np.int64)
+        v = rng.integers(-(2**15), 2**15, size=(3, 4, 4, 4)).astype(np.int64)
+        spy = RintSpy(monkeypatch)
+        got = _channel_reduce(u, v)
+        assert spy.calls > 0, "expected the float64 fast path"
+        np.testing.assert_array_equal(got, exact_reference(u, v))

@@ -134,3 +134,21 @@ class TestIntegerWinograd:
         ctx = winograd_conv2d_int(x, v, padding=1, m=2)
         direct = direct_conv_int(x, w, 1)
         np.testing.assert_array_equal(ctx.y_int, direct * tf.output_scale_2d)
+
+
+class TestContextAnnotations:
+    def test_optional_intermediates_declared_optional(self):
+        """Regression: u_int/m_int are None when intermediates are dropped,
+        so their declared types must admit None (they used to claim a bare
+        np.ndarray)."""
+        import typing
+
+        from repro.winograd.conv2d import WinogradConvContext
+
+        hints = typing.get_type_hints(WinogradConvContext)
+        for name in ("u_int", "m_int"):
+            assert type(None) in typing.get_args(hints[name]), (
+                f"{name} must be annotated np.ndarray | None"
+            )
+        for name in ("v_int", "y_int"):
+            assert hints[name] is np.ndarray

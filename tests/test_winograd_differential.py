@@ -1,0 +1,94 @@
+"""Differential tests: float Winograd vs direct im2col convolution.
+
+Barabasz et al. (arXiv:1803.10986) show Winograd's numerical error grows
+with the tile size; these tests pin our float64 kernels to the direct
+im2col reference across randomized shapes, paddings and every supported
+tile size, with tolerances tight enough to catch any algebraic slip (a
+wrong transform entry produces errors many orders of magnitude larger).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.im2col import conv_output_size, im2col
+from repro.winograd import SUPPORTED_TILES, winograd_conv2d_float
+
+
+def direct_conv_float(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: np.ndarray | None = None,
+    padding: int = 0,
+) -> np.ndarray:
+    """Reference float convolution via im2col (unit stride)."""
+    n, c, h, wd = x.shape
+    k, _, r, s = w.shape
+    cols = im2col(x.astype(np.float64), (r, s), 1, padding)
+    out = np.einsum("kr,nrp->nkp", w.reshape(k, -1).astype(np.float64), cols)
+    p = conv_output_size(h, r, 1, padding)
+    q = conv_output_size(wd, s, 1, padding)
+    out = out.reshape(n, k, p, q)
+    if bias is not None:
+        out = out + bias.reshape(1, k, 1, 1)
+    return out
+
+
+def random_case(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """One random (input, weight) pair with r=3 and workable spatial size."""
+    n = int(rng.integers(1, 4))
+    c = int(rng.integers(1, 6))
+    k = int(rng.integers(1, 7))
+    h = int(rng.integers(5, 13))
+    w = int(rng.integers(5, 15))
+    x = rng.standard_normal((n, c, h, w))
+    wt = rng.standard_normal((k, c, 3, 3))
+    return x, wt
+
+
+class TestDifferentialFloat:
+    @pytest.mark.parametrize("m", SUPPORTED_TILES)
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    @pytest.mark.parametrize("trial", range(4))
+    def test_randomized_shapes(self, m, padding, trial):
+        rng = np.random.default_rng(1000 * m + 100 * padding + trial)
+        x, wt = random_case(rng)
+        got = winograd_conv2d_float(x, wt, padding=padding, m=m)
+        ref = direct_conv_float(x, wt, padding=padding)
+        assert got.shape == ref.shape
+        scale = max(1.0, float(np.abs(ref).max()))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9 * scale)
+
+    @pytest.mark.parametrize("m", SUPPORTED_TILES)
+    def test_with_bias(self, m):
+        rng = np.random.default_rng(42 + m)
+        x, wt = random_case(rng)
+        bias = rng.standard_normal(wt.shape[0])
+        got = winograd_conv2d_float(x, wt, bias=bias, padding=1, m=m)
+        ref = direct_conv_float(x, wt, bias=bias, padding=1)
+        scale = max(1.0, float(np.abs(ref).max()))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9 * scale)
+
+    @pytest.mark.parametrize("m", SUPPORTED_TILES)
+    def test_single_pixel_output(self, m):
+        """Smallest legal output (1x1) exercises tile-overhang cropping."""
+        rng = np.random.default_rng(7 * m)
+        x = rng.standard_normal((1, 2, 3, 3))
+        wt = rng.standard_normal((2, 2, 3, 3))
+        got = winograd_conv2d_float(x, wt, padding=0, m=m)
+        ref = direct_conv_float(x, wt, padding=0)
+        assert got.shape == (1, 2, 1, 1)
+        scale = max(1.0, float(np.abs(ref).max()))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9 * scale)
+
+    @pytest.mark.parametrize("m", SUPPORTED_TILES)
+    def test_non_square_input(self, m):
+        """Strongly rectangular inputs hit unequal tile counts per axis."""
+        rng = np.random.default_rng(77 + m)
+        x = rng.standard_normal((2, 3, 5, 17))
+        wt = rng.standard_normal((4, 3, 3, 3))
+        got = winograd_conv2d_float(x, wt, padding=1, m=m)
+        ref = direct_conv_float(x, wt, padding=1)
+        scale = max(1.0, float(np.abs(ref).max()))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9 * scale)
