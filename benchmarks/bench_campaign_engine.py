@@ -9,11 +9,17 @@ without enough cores, where forked workers just time-slice one CPU).
 Run standalone for a timing report::
 
     PYTHONPATH=src python benchmarks/bench_campaign_engine.py [workers]
+
+Pass ``--json PATH`` to also write the stats as a JSON document (CI
+uploads this as a build artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_engine.py 2 --json bench.json
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import json
 import time
 
 import numpy as np
@@ -79,6 +85,37 @@ def run_comparison(workers: int = 4) -> dict:
     }
 
 
+def run_task_batch_comparison(workers: int = 4) -> dict:
+    """Time the Fig. 3-style protected-task batch: serial engine vs workers.
+
+    Exercises :meth:`CampaignEngine.evaluate_tasks` with a distinct
+    protection plan per task group (the layer-vulnerability workload),
+    which the sweep benchmark above cannot reach.
+    """
+    from repro.analysis import layer_vulnerability
+
+    qmodel, x, y, config = build_workload()
+    ber = BERS[2]
+
+    start = time.perf_counter()
+    serial = layer_vulnerability(qmodel, x, y, ber, config=config)
+    serial_seconds = time.perf_counter() - start
+
+    engine = CampaignEngine(workers=workers)
+    start = time.perf_counter()
+    parallel = layer_vulnerability(qmodel, x, y, ber, config=config, engine=engine)
+    engine_seconds = time.perf_counter() - start
+
+    return {
+        "units": engine.last_stats.total_units,
+        "workers": engine.workers,
+        "serial_seconds": serial_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": serial_seconds / engine_seconds if engine_seconds else float("inf"),
+        "bit_identical": parallel.to_dict() == serial.to_dict(),
+    }
+
+
 def format_report(stats: dict) -> str:
     return (
         f"campaign engine benchmark — {stats['units']} (BER, seed) units\n"
@@ -110,5 +147,30 @@ def test_campaign_engine_speedup():
 
 if __name__ == "__main__":
     np.random.seed(0)
-    requested = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    print(format_report(run_comparison(workers=requested)))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workers", type=int, nargs="?", default=4)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the benchmark stats to PATH as JSON",
+    )
+    args = parser.parse_args()
+
+    sweep = run_comparison(workers=args.workers)
+    tasks = run_task_batch_comparison(workers=args.workers)
+    print(format_report(sweep))
+    print(
+        f"task-batch benchmark — {tasks['units']} protected tasks "
+        f"(layer vulnerability)\n"
+        f"  serial          : {tasks['serial_seconds']:.2f} s\n"
+        f"  engine          : {tasks['engine_seconds']:.2f} s\n"
+        f"  speedup         : {tasks['speedup']:.2f}x\n"
+        f"  bit-identical   : {tasks['bit_identical']}"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"sweep": sweep, "task_batch": tasks}, handle, indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.json}")

@@ -1,4 +1,13 @@
-"""Vulnerability and sensitivity analyses built on the fault-injection platform."""
+"""Vulnerability and sensitivity analyses built on the fault-injection platform.
+
+Both analyses accept an ``engine=`` argument
+(:class:`repro.runtime.CampaignEngine`) and submit their protected
+evaluations as one task batch to
+:meth:`~repro.runtime.CampaignEngine.evaluate_tasks`, so figs 3–4 honor
+``--workers/--resume/--checkpoint`` end-to-end while remaining
+bit-identical to serial execution.  Omitting ``engine`` falls back to a
+serial in-process engine.
+"""
 
 from repro.analysis.vulnerability import (
     LayerVulnerability,

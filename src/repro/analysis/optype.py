@@ -3,6 +3,16 @@
 Measures network accuracy with all multiplications fault-free (exposing the
 sensitivity of additions) and with all additions fault-free (exposing the
 sensitivity of multiplications), for any model/BER operating point.
+
+Execution model
+---------------
+The three campaigns (baseline, muls-fault-free, adds-fault-free) are one
+batch of tasks submitted to
+:meth:`repro.runtime.CampaignEngine.evaluate_tasks`; pass ``engine=`` to
+shard the batch across workers with checkpoint/resume (the experiments
+CLI's ``--workers/--resume/--checkpoint`` reach here through Fig. 4).
+Without an engine a serial in-process engine is used; results are
+bit-identical in every case.
 """
 
 from __future__ import annotations
@@ -11,9 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.faultsim.campaign import CampaignConfig, run_point
+from repro.faultsim.campaign import CampaignConfig, combine_seed_results
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
+from repro.runtime.engine import CampaignEngine
+from repro.runtime.tasks import TaskSpec
 
 __all__ = ["OpTypeSensitivity", "operation_type_sensitivity"]
 
@@ -60,19 +72,40 @@ def operation_type_sensitivity(
     labels: np.ndarray,
     ber: float,
     config: CampaignConfig | None = None,
+    engine: CampaignEngine | None = None,
 ) -> OpTypeSensitivity:
-    """Run the three campaigns (baseline, muls-free, adds-free) at ``ber``."""
+    """Run the three campaigns (baseline, muls-free, adds-free) at ``ber``.
+
+    All three expand into one task batch, sharded by ``engine`` when one
+    is provided (bit-identical to serial for any worker count).
+    """
     config = config or CampaignConfig()
+    engine = engine if engine is not None else CampaignEngine(workers=1)
     layer_names = [layer.name for layer in qmodel.injectable_layers()]
 
-    baseline = run_point(qmodel, x, labels, ber, config=config)
-    muls_free = run_point(
-        qmodel, x, labels, ber, config=config,
-        protection=ProtectionPlan.fault_free_muls(layer_names),
-    )
-    adds_free = run_point(
-        qmodel, x, labels, ber, config=config,
-        protection=ProtectionPlan.fault_free_adds(layer_names),
+    plans: list[ProtectionPlan | None] = [
+        None,
+        ProtectionPlan.fault_free_muls(layer_names),
+        ProtectionPlan.fault_free_adds(layer_names),
+    ]
+    tags = ["baseline", "muls-fault-free", "adds-fault-free"]
+    tasks = [
+        TaskSpec(ber=ber, seed=seed, protection=plan, tag=tag)
+        for plan, tag in zip(plans, tags)
+        for seed in config.seeds
+    ]
+    seed_results = engine.evaluate_tasks(qmodel, x, labels, tasks, config=config)
+
+    n_seeds = len(config.seeds)
+    baseline, muls_free, adds_free = (
+        combine_seed_results(
+            qmodel,
+            ber,
+            seed_results[i * n_seeds : (i + 1) * n_seeds],
+            config,
+            plans[i],
+        )
+        for i in range(3)
     )
     return OpTypeSensitivity(
         ber=ber,

@@ -16,6 +16,16 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
 
+class CheckpointError(ConfigurationError):
+    """A campaign checkpoint file is damaged or unreadable.
+
+    Subclasses :class:`ConfigurationError` so existing callers that guard
+    checkpoint loading keep working; raised instead of a raw
+    ``json.JSONDecodeError`` so corruption is always reported with the
+    file path and the salvage options.
+    """
+
+
 class QuantizationError(ReproError):
     """A fixed-point format or quantization request is invalid."""
 

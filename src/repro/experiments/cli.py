@@ -10,6 +10,11 @@ Run everything at full fidelity on all cores, resuming any interrupted
 campaign from its checkpoint::
 
     python -m repro.experiments.cli all --profile full --workers 0 --resume
+
+``--workers/--resume/--checkpoint`` apply to every figure: the accuracy
+sweeps of figs 1–2/6–7 and the protected-evaluation batches behind figs
+3–5 (layer vulnerability, operation-type sensitivity, TMR planning) all
+execute through the same :class:`repro.runtime.CampaignEngine`.
 """
 
 from __future__ import annotations
@@ -55,12 +60,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="campaign worker processes; 0 = all visible cores (default: 1)",
+        help="campaign worker processes for all figures, including the "
+        "figs 3-5 analysis batches; 0 = all visible cores (default: 1)",
     )
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="resume completed (BER, seed) points from the campaign checkpoint",
+        help="resume completed evaluation tasks from the campaign checkpoint",
     )
     parser.add_argument(
         "--checkpoint",

@@ -5,6 +5,9 @@ injected at the mid-cliff BER; the per-layer accuracy recovery (for both
 standard and Winograd execution) is overlaid with each layer's
 multiplication count, reproducing the paper's observation that mid-network
 layers with the most multiplications are the most vulnerable.
+
+The per-layer campaigns run as one engine task batch per model, so this
+figure honors the CLI's ``--workers/--resume/--checkpoint`` flags.
 """
 
 from __future__ import annotations
@@ -46,8 +49,8 @@ def run(
 
     x = prep.eval_x[: profile.eval_samples]
     y = prep.eval_y[: profile.eval_samples]
-    report_st = layer_vulnerability(qm_st, x, y, ber, config=config)
-    report_wg = layer_vulnerability(qm_wg, x, y, ber, config=config)
+    report_st = layer_vulnerability(qm_st, x, y, ber, config=config, engine=engine)
+    report_wg = layer_vulnerability(qm_wg, x, y, ber, config=config, engine=engine)
 
     payload = {
         "figure": "fig3",

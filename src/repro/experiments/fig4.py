@@ -7,6 +7,9 @@ the paper's two conclusions: multiplications are the vulnerable class in
 both execution modes, and Winograd's far smaller multiplication census
 keeps its only-multiplication-faults accuracy at least as high as standard
 convolution's.
+
+Each (benchmark, width, model) sensitivity runs as one engine task batch,
+so this figure honors the CLI's ``--workers/--resume/--checkpoint`` flags.
 """
 
 from __future__ import annotations
@@ -49,8 +52,12 @@ def run(
             ber = pick_cliff_ber(
                 st_curve, qm_st.metadata["fault_free_accuracy"], target_fraction=0.6
             )
-            sens_st = operation_type_sensitivity(qm_st, x, y, ber, config=config)
-            sens_wg = operation_type_sensitivity(qm_wg, x, y, ber, config=config)
+            sens_st = operation_type_sensitivity(
+                qm_st, x, y, ber, config=config, engine=engine
+            )
+            sens_wg = operation_type_sensitivity(
+                qm_wg, x, y, ber, config=config, engine=engine
+            )
             entries.append(
                 {
                     "benchmark": prep.paper_label,

@@ -6,6 +6,10 @@ every overhead to ST-Conv's at the highest goal.  The headline numbers the
 paper reports — 61.21 % average overhead reduction vs ST-Conv and 27.49 %
 vs the fault-tolerance-unaware Winograd scheme — are computed the same way
 from our curves.
+
+The vulnerability analyses and every planner iteration route through the
+campaign engine, so this figure honors the CLI's
+``--workers/--resume/--checkpoint`` flags.
 """
 
 from __future__ import annotations
@@ -56,7 +60,9 @@ def run(
 
     x = prep.eval_x[: profile.eval_samples]
     y = prep.eval_y[: profile.eval_samples]
-    curves = run_tmr_schemes(qm_st, qm_wg, x, y, ber, goals, config=config, step=step)
+    curves = run_tmr_schemes(
+        qm_st, qm_wg, x, y, ber, goals, config=config, step=step, engine=engine
+    )
     normalized = normalized_overheads(curves)
     reductions = average_reduction(curves)
 

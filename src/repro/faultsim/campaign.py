@@ -6,12 +6,13 @@ carry both the raw BER and the expected-faults-per-inference (lambda),
 which is the axis that transfers across model scales (see DESIGN.md §2).
 
 The module is factored around one *pure* unit of work,
-:func:`evaluate_seed_point`: the accuracy of one (BER, seed) pair depends
-only on its arguments, never on any other point of the sweep.  That makes
-each unit independently dispatchable — the parallel campaign engine
-(:mod:`repro.runtime`) shards units across a worker pool and recombines
-them with :func:`combine_seed_results`, bit-identical to the serial loop in
-:func:`run_point`.
+:func:`evaluate_seed_point`: the accuracy of one (BER, seed, protection)
+evaluation depends only on its arguments, never on any other point of the
+sweep.  That makes each unit independently dispatchable — the parallel
+campaign engine (:mod:`repro.runtime`) wraps it in a
+:class:`~repro.runtime.TaskSpec`, shards task batches across a worker pool
+and recombines them with :func:`combine_seed_results`, bit-identical to
+the serial loop in :func:`run_point`.
 """
 
 from __future__ import annotations

@@ -1,10 +1,15 @@
 """Campaign execution runtime: sharded workers, checkpointing, resume.
 
-This package turns the serial Monte-Carlo sweeps of :mod:`repro.faultsim`
-into an interruptible, parallel service: :class:`CampaignEngine` dispatches
-independent (BER, seed) units across a process pool, records every
-completed unit in a content-addressed JSON checkpoint and resumes from it,
-while guaranteeing results bit-identical to serial execution.
+This package turns the serial Monte-Carlo loops of :mod:`repro.faultsim`
+and the protected-evaluation analyses built on them into an interruptible,
+parallel service.  :class:`CampaignEngine` dispatches independent
+:class:`TaskSpec` units — a (BER, seed) point under an optional protection
+plan — across a process pool via :meth:`CampaignEngine.evaluate_tasks`,
+records every completed task in a content-addressed JSON-lines checkpoint
+and resumes from it, while guaranteeing results bit-identical to serial
+execution.  Accuracy sweeps (:meth:`CampaignEngine.run_sweep`, figs
+1–2/6–7), layer vulnerability (Fig. 3), operation-type sensitivity
+(Fig. 4) and the TMR planner (Fig. 5) all route through the same engine.
 """
 
 from repro.runtime.checkpoint import CampaignCheckpoint
@@ -14,6 +19,7 @@ from repro.runtime.hashing import (
     data_fingerprint,
     model_fingerprint,
     point_key,
+    task_key,
 )
 from repro.runtime.progress import (
     ProgressEvent,
@@ -22,16 +28,19 @@ from repro.runtime.progress import (
     null_reporter,
     stream_reporter,
 )
+from repro.runtime.tasks import TaskSpec
 
 __all__ = [
     "CampaignEngine",
     "CampaignCheckpoint",
     "SweepStats",
+    "TaskSpec",
     "resolve_workers",
     "model_fingerprint",
     "campaign_fingerprint",
     "data_fingerprint",
     "point_key",
+    "task_key",
     "ProgressEvent",
     "ProgressReporter",
     "ThroughputMeter",

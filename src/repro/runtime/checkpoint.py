@@ -1,76 +1,155 @@
-"""JSON checkpoint store for interruptible campaign sweeps.
+"""JSON-lines checkpoint store for interruptible campaign batches.
 
-The engine records every completed (BER, seed) unit under its content-hash
-key (:mod:`repro.runtime.hashing`).  A sweep that dies mid-flight leaves a
-valid checkpoint behind — writes go to a temp file and are atomically
-renamed into place — and a resumed engine replays the completed units from
-disk instead of recomputing them.
+The engine records every completed task under its content-hash key
+(:mod:`repro.runtime.hashing`).  The store is line-oriented so damage is
+*localized*: completed tasks append one self-contained JSON line each, a
+crash mid-write can truncate at most the final line, and loading salvages
+every intact line while reporting the damaged ones (see
+:class:`repro.errors.CheckpointError`).  A resumed engine replays the
+salvaged tasks from disk and recomputes only the damaged entries.
 
-File format (version 1)::
+File format (version 2)::
 
-    {
-      "version": 1,
-      "points": {
-        "<point-key>": {"ber": 1e-6, "seed": 0, "accuracy": 0.81, "events": 42},
-        ...
-      }
-    }
+    {"version": 2}
+    {"key": "<task-key>", "ber": 1e-06, "seed": 0, "accuracy": 0.81, "events": 42}
+    ...
 
-Keys already encode model + campaign + point content, so one checkpoint
-file can safely accumulate points from many sweeps (e.g. standard and
-Winograd curves of several figures) without collisions.
+A key appearing on several lines (e.g. a ``resume=False`` recompute) is
+resolved last-line-wins.  Version-1 files (a single JSON document, written
+by earlier releases) are still loaded and are upgraded to version 2 on the
+first flush.  Keys already encode model + campaign + protection + point
+content, so one checkpoint file safely accumulates tasks from many figures
+and models without collisions.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError
 from repro.faultsim.campaign import SeedPointResult
 
 __all__ = ["CampaignCheckpoint"]
 
-_VERSION = 1
+_VERSION = 2
+_LEGACY_VERSION = 1
+
+
+def _parse_file(
+    path: Path, text: str
+) -> tuple[dict[str, SeedPointResult], list[int], bool]:
+    """Parse checkpoint ``text`` into (points, damaged line numbers, legacy).
+
+    Raises :class:`CheckpointError` when the file is unrecoverable (no
+    readable header and not a legacy document); individual damaged point
+    lines are tolerated and reported by number.  ``legacy`` is True when
+    the file used the version-1 single-document format.
+    """
+    lines = text.splitlines()
+    header = None
+    if lines:
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+    if isinstance(header, dict) and "version" in header:
+        version = header["version"]
+        if version != _VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has unsupported version {version!r}"
+            )
+        points: dict[str, SeedPointResult] = {}
+        damaged: list[int] = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+                points[row["key"]] = SeedPointResult.from_dict(row)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                damaged.append(lineno)
+        return points, damaged, False
+    # No version-2 header: either a legacy version-1 document or garbage.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has no readable header and is not valid JSON "
+            f"({exc}); repair it or delete it to start fresh"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("version") != _LEGACY_VERSION:
+        version = doc.get("version") if isinstance(doc, dict) else None
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported version {version!r}"
+        )
+    points = {
+        key: SeedPointResult.from_dict(row)
+        for key, row in doc.get("points", {}).items()
+    }
+    return points, [], True
 
 
 class CampaignCheckpoint:
-    """Append-mostly map of point-key -> :class:`SeedPointResult` on disk.
+    """Append-mostly map of task-key -> :class:`SeedPointResult` on disk.
 
     An existing file is always loaded and merged into, never truncated:
-    whether cached points are *served* back to a sweep is the engine's
+    whether cached tasks are *served* back to a batch is the engine's
     ``resume`` policy, but completed work is never discarded (recomputed
-    units simply overwrite their own keys).
+    tasks simply overwrite their own keys).
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location.
+    flush_every:
+        Puts between flushes (1 = flush every completed task).
+    strict:
+        When True, damaged point lines raise :class:`CheckpointError` at
+        load instead of being salvaged around.  The default (False) warns,
+        records the damaged line numbers in :attr:`damaged_lines`, and
+        lets a resumed engine recompute exactly those entries.
     """
 
-    def __init__(self, path: str | Path, flush_every: int = 1):
+    def __init__(self, path: str | Path, flush_every: int = 1, strict: bool = False):
         self.path = Path(path)
         self.flush_every = max(1, int(flush_every))
+        self.strict = strict
         self._points: dict[str, SeedPointResult] = {}
+        #: Keys put since the last flush, in completion order.
+        self._pending: list[str] = []
         self._dirty = 0
+        #: Full rewrite needed (legacy format or damaged lines on disk).
+        self._rewrite = False
+        #: Line numbers dropped during load (empty for a healthy file).
+        self.damaged_lines: list[int] = []
         if self.path.exists():
-            self._points = self._load()
+            self._load()
 
-    def _load(self) -> dict[str, SeedPointResult]:
-        with open(self.path, encoding="utf-8") as handle:
-            try:
-                doc = json.load(handle)
-            except json.JSONDecodeError as exc:
-                # Atomic writes mean this only happens to hand-edited files;
-                # refuse loudly rather than silently discarding the points.
-                raise ConfigurationError(
-                    f"checkpoint {self.path} is not valid JSON ({exc}); "
-                    "repair it or delete it to start fresh"
-                ) from exc
-        if doc.get("version") != _VERSION:
-            raise ConfigurationError(
-                f"checkpoint {self.path} has unsupported version {doc.get('version')!r}"
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        points, damaged, legacy = _parse_file(self.path, text)
+        if damaged:
+            if self.strict:
+                raise CheckpointError(
+                    f"checkpoint {self.path} has {len(damaged)} damaged "
+                    f"line(s) {damaged}; load with strict=False to salvage "
+                    "the intact entries and recompute the damaged ones"
+                )
+            warnings.warn(
+                f"checkpoint {self.path}: salvaged {len(points)} entries, "
+                f"dropped {len(damaged)} damaged line(s) {damaged}; the "
+                "dropped entries will be recomputed",
+                RuntimeWarning,
+                stacklevel=3,
             )
-        return {
-            key: SeedPointResult.from_dict(row)
-            for key, row in doc.get("points", {}).items()
-        }
+        self._points = points
+        self.damaged_lines = damaged
+        # Legacy documents and damaged files are compacted to clean
+        # version-2 on the next flush rather than appended to.
+        self._rewrite = bool(damaged) or legacy
 
     def __len__(self) -> int:
         return len(self._points)
@@ -83,34 +162,54 @@ class CampaignCheckpoint:
         return self._points.get(key)
 
     def put(self, key: str, result: SeedPointResult) -> None:
-        """Record a completed unit; flushes every ``flush_every`` puts."""
+        """Record a completed task; flushes every ``flush_every`` puts."""
         self._points[key] = result
+        self._pending.append(key)
         self._dirty += 1
         if self._dirty >= self.flush_every:
             self.flush()
 
     def flush(self) -> None:
-        """Atomically persist the current state (temp file + rename).
+        """Persist the state: append new lines, or compact when needed.
 
-        A no-op when nothing changed since the last flush.  Before writing,
-        the on-disk file is re-read and merged under our points, so two
-        processes sharing one checkpoint cannot erase each other's work
-        (per-key last-writer-wins remains, but keys are content hashes of
-        deterministic computations — both writers hold the same value).
+        The fast path appends one line per task completed since the last
+        flush — O(new work), not O(file) — and appends from concurrent
+        writers merge trivially, every line being self-contained.  A full
+        rewrite (temp file + atomic rename) happens only when the on-disk
+        file needs compaction (legacy format or damaged lines); the disk
+        file is re-read and merged under our points immediately before the
+        rename, so compaction keeps all work persisted up to that point,
+        but a concurrent append landing inside the re-read/rename window
+        of a compaction can still be lost.  Healthy version-2 files never
+        compact, so steady-state concurrent use is append-only and safe.
         """
         if self._dirty == 0:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        if self.path.exists():
-            for key, result in self._load().items():
-                self._points.setdefault(key, result)
-        doc = {
-            "version": _VERSION,
-            "points": {key: r.to_dict() for key, r in sorted(self._points.items())},
-        }
-        tmp = self.path.with_suffix(f"{self.path.suffix}.{os.getpid()}.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, self.path)
+        if self.path.exists() and not self._rewrite:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for key in self._pending:
+                    handle.write(self._line(key))
+        else:
+            if self.path.exists():
+                try:
+                    disk, _, _ = _parse_file(
+                        self.path, self.path.read_text(encoding="utf-8")
+                    )
+                except CheckpointError:
+                    disk = {}
+                for key, result in disk.items():
+                    self._points.setdefault(key, result)
+            tmp = self.path.with_suffix(f"{self.path.suffix}.{os.getpid()}.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"version": _VERSION}) + "\n")
+                for key in sorted(self._points):
+                    handle.write(self._line(key))
+            os.replace(tmp, self.path)
+            self._rewrite = False
+        self._pending.clear()
         self._dirty = 0
+
+    def _line(self, key: str) -> str:
+        row = {"key": key, **self._points[key].to_dict()}
+        return json.dumps(row, sort_keys=True, separators=(",", ": ")) + "\n"

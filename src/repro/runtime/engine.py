@@ -1,27 +1,37 @@
 """Parallel campaign execution engine.
 
-:class:`CampaignEngine` runs the same Monte-Carlo sweeps as
-:func:`repro.faultsim.run_sweep`, but shards the sweep's (BER, seed) units
-across a ``multiprocessing`` worker pool, checkpoints every completed unit
-to disk, and resumes interrupted sweeps from that checkpoint.
+:class:`CampaignEngine` executes batches of *protected-evaluation tasks*
+(:class:`repro.runtime.tasks.TaskSpec` — one (BER, seed) point under an
+optional protection plan) across a ``multiprocessing`` worker pool,
+checkpoints every completed task to disk, and resumes interrupted batches
+from that checkpoint.
+
+:meth:`CampaignEngine.evaluate_tasks` is the primitive; everything else is
+a wrapper over it: :meth:`run_sweep` expands a BER grid into unprotected
+(BER, seed) tasks (figs 1–2/6–7), while the layer-vulnerability analysis
+(:func:`repro.analysis.layer_vulnerability`, Fig. 3), operation-type
+sensitivity (:func:`repro.analysis.operation_type_sensitivity`, Fig. 4)
+and the fine-grained TMR planner (:func:`repro.tmr.plan_tmr`, Fig. 5)
+submit per-plan task batches directly.
 
 Determinism contract
 --------------------
-Each unit (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG seed
+Each task (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG seed
 and touches no shared mutable state, so scheduling cannot change any
-result: an engine sweep with any worker count — or any mix of live and
-checkpointed units — is **bit-identical** to the serial
-:func:`repro.faultsim.run_sweep`.  ``workers=1`` runs the units in-process
-without a pool and is the serial path itself.
+result: an engine batch with any worker count — or any mix of live and
+checkpointed tasks — is **bit-identical** to the serial loops it replaces.
+``workers=1`` runs the tasks in-process without a pool and is the serial
+path itself.
 
 Worker-pool mechanics
 ---------------------
 Workers are forked (POSIX) *after* the parent publishes the evaluation
-payload (model, data, config) in a module global, so the payload crosses
-into children via copy-on-write page sharing rather than per-task
-pickling — the model and evaluation batch are megabytes, the unit
-descriptor a few bytes.  On platforms without ``fork`` the engine degrades
-to the serial path rather than failing.
+payload (model, data, config, task table) in a module global, so the
+payload crosses into children via copy-on-write page sharing rather than
+per-task pickling — the model and evaluation batch are megabytes, the
+dispatched unit a single integer index into the task table.  On platforms
+without ``fork`` the engine degrades to the serial path rather than
+failing.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from repro.runtime.progress import (
     ThroughputMeter,
     null_reporter,
 )
+from repro.runtime.tasks import TaskSpec
 
 __all__ = ["CampaignEngine", "SweepStats", "resolve_workers"]
 
@@ -72,7 +83,7 @@ def resolve_workers(workers: int | None) -> int:
 
 @dataclass
 class SweepStats:
-    """Bookkeeping for the engine's most recent sweep."""
+    """Bookkeeping for the engine's most recent task batch."""
 
     total_units: int = 0
     computed_units: int = 0
@@ -95,19 +106,20 @@ class SweepStats:
 _WORKER_PAYLOAD: tuple | None = None
 
 
-def _run_unit(unit: tuple[int, float, int]) -> tuple[int, float, int, float]:
-    """Evaluate one (BER, seed) unit inside a worker process."""
-    index, ber, seed = unit
-    qmodel, x, labels, config, protection = _WORKER_PAYLOAD
+def _run_task(index: int) -> tuple[int, float, int, float]:
+    """Evaluate one task (by table index) inside a worker process."""
+    qmodel, x, labels, config, tasks = _WORKER_PAYLOAD
+    task = tasks[index]
     start = time.perf_counter()
     result = evaluate_seed_point(
-        qmodel, x, labels, ber, seed, config=config, protection=protection
+        qmodel, x, labels, task.ber, task.seed,
+        config=config, protection=task.protection,
     )
     return index, result.accuracy, result.events, time.perf_counter() - start
 
 
 class CampaignEngine:
-    """Sharded, checkpointed executor for fault-injection sweeps.
+    """Sharded, checkpointed executor for protected-evaluation tasks.
 
     Parameters
     ----------
@@ -115,19 +127,19 @@ class CampaignEngine:
         Worker processes.  ``1`` (default) runs serially in-process;
         ``None``/``0`` uses every visible core.
     checkpoint_path:
-        Optional JSON checkpoint file.  When set, every completed unit is
-        recorded there; content-hash keys make the file safe to share
-        across models, campaigns and sweeps.
+        Optional JSON-lines checkpoint file.  When set, every completed
+        task is recorded there; content-hash keys make the file safe to
+        share across models, campaigns, figures and protection plans.
     resume:
         When True and the checkpoint file exists, previously completed
-        units are served from it instead of recomputed.  When False every
-        unit is recomputed, but the checkpoint still *merges*: existing
-        points are preserved (recomputed units overwrite their own keys).
+        tasks are served from it instead of recomputed.  When False every
+        task is recomputed, but the checkpoint still *merges*: existing
+        entries are preserved (recomputed tasks overwrite their own keys).
     flush_every:
-        Checkpoint flush cadence in completed units (1 = every unit).
+        Checkpoint flush cadence in completed tasks (1 = every task).
     progress:
         Optional callable receiving a :class:`ProgressEvent` per completed
-        unit (see :func:`repro.runtime.progress.stream_reporter`).
+        task (see :func:`repro.runtime.progress.stream_reporter`).
     """
 
     def __init__(
@@ -144,8 +156,89 @@ class CampaignEngine:
         self.flush_every = flush_every
         self.progress = progress or null_reporter
         self.last_stats = SweepStats()
+        # Opened once and reused: the TMR planner calls the engine every
+        # iteration, and re-reading a growing checkpoint (plus re-hashing
+        # an unchanged model and evaluation set) per call would make the
+        # planner quadratic in I/O.  Assumes the model/data objects are
+        # not mutated while this engine is in use — the same purity the
+        # determinism contract already requires.
+        self._checkpoint: CampaignCheckpoint | None = None
+        #: (id(model), id(x), id(labels), max_samples) -> (model_fp,
+        #: data_fp, pinned object refs).
+        self._fingerprints: dict[tuple, tuple] = {}
 
     # --- public API --------------------------------------------------------------
+    def evaluate_tasks(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        tasks: list[TaskSpec],
+        config: CampaignConfig | None = None,
+    ) -> list[SeedPointResult]:
+        """Evaluate a batch of tasks against one model; results in task order.
+
+        The batch is the engine's unit of scheduling: all pending tasks —
+        whatever mix of (BER, seed) points and protection plans they carry
+        — shard across one worker pool, and every completed task is
+        checkpointed under its content hash.  Results are bit-identical to
+        evaluating the tasks serially in order, for any worker count.
+        """
+        config = config or CampaignConfig()
+        meter = ThroughputMeter()
+
+        keys = self._task_keys(qmodel, x, labels, tasks, config)
+        checkpoint = self._open_checkpoint()
+
+        # Cached tasks are only *served* under the resume policy; the
+        # checkpoint itself always merges (completed work is never wiped).
+        serve_cache = checkpoint is not None and self.resume
+        slots: list[SeedPointResult | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for index in range(len(tasks)):
+            cached = checkpoint.get(keys[index]) if serve_cache else None
+            if cached is not None:
+                slots[index] = cached
+            else:
+                pending.append(index)
+
+        done = 0
+        for index, result in enumerate(slots):
+            if result is not None:
+                done += 1
+                self._report(
+                    meter, done, len(tasks), result, tasks[index].tag,
+                    cached=True, elapsed=0.0,
+                )
+
+        payload = (qmodel, x, labels, config, tasks)
+        if pending:
+            executor = (
+                self._run_parallel
+                if self.workers > 1 and len(pending) > 1 and _fork_context() is not None
+                else self._run_serial
+            )
+            for index, result, elapsed in executor(payload, pending):
+                slots[index] = result
+                done += 1
+                if checkpoint is not None:
+                    checkpoint.put(keys[index], result)
+                self._report(
+                    meter, done, len(tasks), result, tasks[index].tag,
+                    cached=False, elapsed=elapsed,
+                )
+        if checkpoint is not None:
+            checkpoint.flush()
+
+        self.last_stats = SweepStats(
+            total_units=len(tasks),
+            computed_units=len(pending),
+            cached_units=len(tasks) - len(pending),
+            workers=self.workers,
+            elapsed_seconds=meter.elapsed,
+        )
+        return slots
+
     def run_point(
         self,
         qmodel: QuantizedModel,
@@ -169,68 +262,25 @@ class CampaignEngine:
     ) -> list[CampaignResult]:
         """Engine-executed equivalent of :func:`repro.faultsim.run_sweep`.
 
+        A thin wrapper over :meth:`evaluate_tasks`: the BER grid expands
+        into one task per (BER, seed) sharing ``protection``, ordered
+        ber-major then seed so recombination reads contiguous slices.
         Returns one :class:`CampaignResult` per BER, in input order,
         bit-identical to serial execution.
         """
         config = config or CampaignConfig()
-        meter = ThroughputMeter()
-
-        # Unit table: index -> (ber, seed), ordered ber-major then seed so
-        # recombination reads contiguous slices.
-        units = [
-            (ber, seed) for ber in bers for seed in config.seeds
+        tasks = [
+            TaskSpec(ber=ber, seed=seed, protection=protection)
+            for ber in bers
+            for seed in config.seeds
         ]
-        keys = self._point_keys(qmodel, x, labels, units, config, protection)
-        checkpoint = self._open_checkpoint()
-
-        # Cached points are only *served* under the resume policy; the
-        # checkpoint itself always merges (completed work is never wiped).
-        serve_cache = checkpoint is not None and self.resume
-        slots: list[SeedPointResult | None] = [None] * len(units)
-        pending: list[tuple[int, float, int]] = []
-        for index, (ber, seed) in enumerate(units):
-            cached = checkpoint.get(keys[index]) if serve_cache else None
-            if cached is not None:
-                slots[index] = cached
-            else:
-                pending.append((index, ber, seed))
-
-        done = 0
-        for result in slots:
-            if result is not None:
-                done += 1
-                self._report(meter, done, len(units), result, cached=True, elapsed=0.0)
-
-        payload = (qmodel, x, labels, config, protection)
-        if pending:
-            executor = (
-                self._run_parallel
-                if self.workers > 1 and len(pending) > 1 and _fork_context() is not None
-                else self._run_serial
-            )
-            for index, result, elapsed in executor(payload, pending):
-                slots[index] = result
-                done += 1
-                if checkpoint is not None:
-                    checkpoint.put(keys[index], result)
-                self._report(meter, done, len(units), result, cached=False, elapsed=elapsed)
-        if checkpoint is not None:
-            checkpoint.flush()
-
-        self.last_stats = SweepStats(
-            total_units=len(units),
-            computed_units=len(pending),
-            cached_units=len(units) - len(pending),
-            workers=self.workers,
-            elapsed_seconds=meter.elapsed,
-        )
-
+        results = self.evaluate_tasks(qmodel, x, labels, tasks, config=config)
         n_seeds = len(config.seeds)
         return [
             combine_seed_results(
                 qmodel,
                 ber,
-                slots[i * n_seeds : (i + 1) * n_seeds],
+                results[i * n_seeds : (i + 1) * n_seeds],
                 config,
                 protection,
             )
@@ -241,29 +291,51 @@ class CampaignEngine:
     def _open_checkpoint(self) -> CampaignCheckpoint | None:
         if self.checkpoint_path is None:
             return None
-        return CampaignCheckpoint(self.checkpoint_path, flush_every=self.flush_every)
+        if self._checkpoint is None:
+            self._checkpoint = CampaignCheckpoint(
+                self.checkpoint_path, flush_every=self.flush_every
+            )
+        return self._checkpoint
 
-    def _point_keys(
+    def _task_keys(
         self,
         qmodel: QuantizedModel,
         x: np.ndarray,
         labels: np.ndarray,
-        units: list[tuple[float, int]],
+        tasks: list[TaskSpec],
         config: CampaignConfig,
-        protection: ProtectionPlan | None,
     ) -> list[str]:
         if self.checkpoint_path is None:
-            return [""] * len(units)
-        if config.max_samples is not None:
-            # Hash what the unit actually evaluates (post-trim).
-            x, labels = x[: config.max_samples], labels[: config.max_samples]
-        model_fp = model_fingerprint(qmodel)
-        campaign_fp = campaign_fingerprint(config, protection)
-        data_fp = data_fingerprint(x, labels)
-        return [
-            point_key(model_fp, campaign_fp, data_fp, ber, seed)
-            for ber, seed in units
-        ]
+            return [""] * len(tasks)
+        memo = (id(qmodel), id(x), id(labels), config.max_samples)
+        cached = self._fingerprints.get(memo)
+        if cached is None:
+            trim_x, trim_labels = x, labels
+            if config.max_samples is not None:
+                # Hash what the task actually evaluates (post-trim).
+                trim_x = x[: config.max_samples]
+                trim_labels = labels[: config.max_samples]
+            # The keyed objects ride along in the entry so their ids
+            # cannot be recycled onto new objects while the cache lives.
+            cached = (
+                model_fingerprint(qmodel),
+                data_fingerprint(trim_x, trim_labels),
+                (qmodel, x, labels),
+            )
+            self._fingerprints[memo] = cached
+        model_fp, data_fp = cached[0], cached[1]
+        # One campaign fingerprint per distinct protection plan, not per
+        # task: a Fig. 3 batch reuses each plan across all its seeds.
+        campaign_fps: dict[tuple | None, str] = {}
+        keys = []
+        for task in tasks:
+            plan_id = task.protection.cache_key() if task.protection else None
+            campaign_fp = campaign_fps.get(plan_id)
+            if campaign_fp is None:
+                campaign_fp = campaign_fingerprint(config, task.protection)
+                campaign_fps[plan_id] = campaign_fp
+            keys.append(point_key(model_fp, campaign_fp, data_fp, task.ber, task.seed))
+        return keys
 
     def _report(
         self,
@@ -271,6 +343,7 @@ class CampaignEngine:
         done: int,
         total: int,
         result: SeedPointResult,
+        tag: str,
         cached: bool,
         elapsed: float,
     ) -> None:
@@ -284,33 +357,36 @@ class CampaignEngine:
                 accuracy=result.accuracy,
                 cached=cached,
                 elapsed=elapsed,
+                tag=tag,
             )
         )
 
-    def _run_serial(self, payload: tuple, pending: list[tuple[int, float, int]]):
-        qmodel, x, labels, config, protection = payload
-        for index, ber, seed in pending:
+    def _run_serial(self, payload: tuple, pending: list[int]):
+        qmodel, x, labels, config, tasks = payload
+        for index in pending:
+            task = tasks[index]
             start = time.perf_counter()
             result = evaluate_seed_point(
-                qmodel, x, labels, ber, seed, config=config, protection=protection
+                qmodel, x, labels, task.ber, task.seed,
+                config=config, protection=task.protection,
             )
             yield index, result, time.perf_counter() - start
 
-    def _run_parallel(self, payload: tuple, pending: list[tuple[int, float, int]]):
+    def _run_parallel(self, payload: tuple, pending: list[int]):
         global _WORKER_PAYLOAD
         ctx = _fork_context()
         processes = min(self.workers, len(pending))
-        unit_by_index = {index: (ber, seed) for index, ber, seed in pending}
+        tasks = payload[4]
         # Publish before fork so children inherit by copy-on-write.
         _WORKER_PAYLOAD = payload
         try:
             with ctx.Pool(processes=processes) as pool:
                 for index, accuracy, events, elapsed in pool.imap_unordered(
-                    _run_unit, pending, chunksize=1
+                    _run_task, pending, chunksize=1
                 ):
-                    ber, seed = unit_by_index[index]
+                    task = tasks[index]
                     yield index, SeedPointResult(
-                        ber=ber, seed=seed, accuracy=accuracy, events=events
+                        ber=task.ber, seed=task.seed, accuracy=accuracy, events=events
                     ), elapsed
         finally:
             _WORKER_PAYLOAD = None

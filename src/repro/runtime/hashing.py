@@ -22,6 +22,7 @@ __all__ = [
     "campaign_fingerprint",
     "data_fingerprint",
     "point_key",
+    "task_key",
 ]
 
 
@@ -42,8 +43,19 @@ def model_fingerprint(qmodel: QuantizedModel) -> str:
     for node in qmodel.injectable_layers():
         weights.update(node.name.encode())
         weights.update(node.weight_int.tobytes())
+        # Biases are independent parameters: retraining can change
+        # bias_acc while leaving weight_int untouched.
+        if getattr(node, "bias_acc", None) is not None:
+            weights.update(node.bias_acc.tobytes())
     formats = [
-        (n.name, n.op, n.out_fmt.width, n.out_fmt.frac)
+        (n.name, n.op)
+        + tuple(
+            (fmt.width, fmt.frac)
+            for fmt in (
+                getattr(n, fname, None) for fname in ("in_fmt", "w_fmt", "out_fmt")
+            )
+            if fmt is not None
+        )
         for n in qmodel.nodes
         if getattr(n, "out_fmt", None) is not None
     ]
@@ -113,3 +125,25 @@ def point_key(
         "seed": int(seed),
     }
     return _digest(payload)[:32]
+
+
+def task_key(
+    model_fp: str,
+    data_fp: str,
+    config: CampaignConfig,
+    ber: float,
+    seed: int,
+    protection: ProtectionPlan | None = None,
+) -> str:
+    """Checkpoint key for one :class:`~repro.runtime.tasks.TaskSpec`.
+
+    The per-task protection plan enters through the campaign fingerprint
+    via :meth:`ProtectionPlan.cache_key`, whose canonical (sorted,
+    zero-free) form makes the key independent of fraction-map insertion
+    order while any fraction *value* change produces a new key.  A task
+    evaluated through :func:`run_sweep`'s shared-plan path and the same
+    evaluation reached as an explicit task therefore share one key.
+    """
+    return point_key(
+        model_fp, campaign_fingerprint(config, protection), data_fp, ber, seed
+    )

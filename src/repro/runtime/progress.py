@@ -24,7 +24,11 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One completed (BER, seed) unit within a sweep."""
+    """One completed evaluation task within a batch.
+
+    ``tag`` carries the task's label (e.g. ``"fault-free:c2"`` for a
+    Fig. 3 layer task); sweep units leave it empty.
+    """
 
     done: int
     total: int
@@ -33,6 +37,7 @@ class ProgressEvent:
     accuracy: float
     cached: bool
     elapsed: float
+    tag: str = ""
 
 
 #: A reporter is any callable consuming ProgressEvents.
@@ -49,10 +54,11 @@ def stream_reporter(stream: TextIO | None = None) -> ProgressReporter:
 
     def report(event: ProgressEvent) -> None:
         source = "cache" if event.cached else f"{event.elapsed:5.1f}s"
+        label = f" [{event.tag}]" if event.tag else ""
         out.write(
             f"[campaign {event.done:>3}/{event.total}] "
             f"ber={event.ber:.2e} seed={event.seed} "
-            f"acc={event.accuracy:.4f} ({source})\n"
+            f"acc={event.accuracy:.4f} ({source}){label}\n"
         )
         out.flush()
 

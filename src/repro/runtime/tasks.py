@@ -1,0 +1,65 @@
+"""Task specifications: the engine's generalized unit of work.
+
+PR 1's engine understood exactly one shape of work — a (BER, seed) point of
+an accuracy sweep, always evaluated under one shared protection plan.  The
+paper's remaining analyses do not fit that shape: layer-wise vulnerability
+(Fig. 3) evaluates one *protection plan per layer*, operation-type
+sensitivity (Fig. 4) evaluates three plans, and the TMR planner (Fig. 5)
+evaluates a freshly grown plan every iteration.
+
+:class:`TaskSpec` captures the general unit: one protected evaluation of a
+model at a (BER, seed) point under an optional :class:`ProtectionPlan`,
+labelled with a free-form ``tag`` for progress reporting.  The task's
+*identity* — what makes a checkpoint entry reusable — is the content hash
+produced by :meth:`TaskSpec.key`, which binds the model fingerprint, the
+evaluation-data fingerprint, the campaign configuration, the point and the
+plan.  The model hash is bound by the engine at dispatch time (tasks are
+model-relative; :meth:`CampaignEngine.evaluate_tasks` evaluates a batch of
+tasks against one model), and the ``tag`` deliberately does not contribute:
+the same evaluation reached from different figures shares one cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faultsim.campaign import CampaignConfig
+from repro.faultsim.protection import ProtectionPlan
+from repro.runtime.hashing import task_key
+
+__all__ = ["TaskSpec"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One protected evaluation: a (BER, seed) point under a protection plan.
+
+    Parameters
+    ----------
+    ber:
+        Bit error rate of the fault injection.
+    seed:
+        RNG seed owned by this unit; together with ``ber`` and the plan it
+        fully determines the result (the unit is pure).
+    protection:
+        Optional :class:`ProtectionPlan` applied during this evaluation
+        only.  ``None`` means unprotected (the sweep default).
+    tag:
+        Human-readable label (e.g. ``"fault-free:c2"`` or ``"tmr-iter3"``)
+        surfaced in progress events.  Not part of the task's identity.
+    """
+
+    ber: float
+    seed: int
+    protection: ProtectionPlan | None = None
+    tag: str = field(default="", compare=False)
+
+    def key(self, model_fp: str, data_fp: str, config: CampaignConfig) -> str:
+        """Content-addressed checkpoint key for this task.
+
+        ``model_fp``/``data_fp`` come from :func:`model_fingerprint` /
+        :func:`data_fingerprint`; the engine computes them once per batch.
+        """
+        return task_key(
+            model_fp, data_fp, config, self.ber, self.seed, self.protection
+        )

@@ -1,4 +1,13 @@
-"""Fine-grained TMR: cost model, iterative planner, deployment schemes."""
+"""Fine-grained TMR: cost model, iterative planner, deployment schemes.
+
+:func:`plan_tmr` and :func:`run_tmr_schemes` accept an ``engine=``
+argument (:class:`repro.runtime.CampaignEngine`): every candidate-plan
+evaluation is batched as per-seed tasks through
+:meth:`~repro.runtime.CampaignEngine.evaluate_tasks`, giving Fig. 5
+``--workers/--resume/--checkpoint`` support with convergence bit-identical
+to the serial path.  Omitting ``engine`` falls back to a serial in-process
+engine.
+"""
 
 from repro.tmr.cost import OpCostModel, full_protection_energy, tmr_overhead_energy
 from repro.tmr.planner import TmrPlanResult, plan_tmr

@@ -8,6 +8,18 @@ far more vulnerable), and iterate until the accuracy goal is met.
 Random fractional protection is realized as Poisson thinning of the fault
 rate (see :mod:`repro.faultsim.protection`), so the planner works directly
 with the Monte-Carlo campaign machinery.
+
+Execution model
+---------------
+Each iteration evaluates the candidate plan through
+:meth:`repro.runtime.CampaignEngine.evaluate_tasks` (one task per campaign
+seed, the candidate's fractions attached as the task's protection plan).
+Pass ``engine=`` to shard those per-iteration evaluations across workers
+and checkpoint/resume them (the experiments CLI's
+``--workers/--resume/--checkpoint`` reach here through Fig. 5); without an
+engine a serial in-process engine is used.  Convergence — ``iterations``,
+``converged`` and the chosen fractions — is bit-identical for any worker
+count because every task owns its RNG seed.
 """
 
 from __future__ import annotations
@@ -17,9 +29,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.faultsim.campaign import CampaignConfig, run_point
+from repro.faultsim.campaign import CampaignConfig
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
+from repro.runtime.engine import CampaignEngine
 from repro.tmr.cost import OpCostModel, tmr_overhead_energy
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
@@ -98,6 +111,7 @@ def plan_tmr(
     step: float = 0.25,
     initial_plan: ProtectionPlan | None = None,
     max_iterations: int = 400,
+    engine: CampaignEngine | None = None,
 ) -> TmrPlanResult:
     """Grow a protection plan until ``target_accuracy`` is reached at ``ber``.
 
@@ -111,10 +125,17 @@ def plan_tmr(
         Protection-fraction increment per iteration.
     initial_plan:
         Starting plan (copied); used to warm-start scheme comparisons.
+    engine:
+        Optional :class:`~repro.runtime.CampaignEngine`.  Each iteration's
+        candidate evaluation is batched as per-seed tasks through
+        :meth:`~repro.runtime.CampaignEngine.evaluate_tasks` (sharded,
+        checkpointed); the default is a serial in-process engine.
+        Convergence is bit-identical either way.
     """
     if not 0.0 < target_accuracy <= 1.0:
         raise ConfigurationError(f"bad target accuracy {target_accuracy}")
     config = config or CampaignConfig()
+    engine = engine if engine is not None else CampaignEngine(workers=1)
     cost_model = cost_model or OpCostModel(width=qmodel.config.width)
     plan = initial_plan.copy() if initial_plan is not None else ProtectionPlan()
 
@@ -123,7 +144,7 @@ def plan_tmr(
     accuracy = 0.0
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        point = run_point(qmodel, x, labels, ber, config=config, protection=plan)
+        point = engine.run_point(qmodel, x, labels, ber, config=config, protection=plan)
         accuracy = point.mean_accuracy
         overhead = tmr_overhead_energy(qmodel, plan, cost_model)
         history.append({"iteration": iterations, "accuracy": accuracy, "overhead": overhead})

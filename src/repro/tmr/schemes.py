@@ -8,6 +8,12 @@
   ST-Conv"), merely mapping them onto the Winograd op categories.
 * **WG-Conv-W/AFT** — fully aware: vulnerability analysis and iterative
   planning run natively on the Winograd execution.
+
+All three schemes route their protected evaluations (the two vulnerability
+analyses and every planner iteration) through the
+:class:`~repro.runtime.CampaignEngine` passed as ``engine=``, so Fig. 5
+honors ``--workers/--resume/--checkpoint`` end-to-end; results are
+bit-identical to serial execution for any worker count.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.analysis.vulnerability import layer_vulnerability
 from repro.faultsim.campaign import CampaignConfig
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
+from repro.runtime.engine import CampaignEngine
 from repro.tmr.cost import OpCostModel
 from repro.tmr.planner import TmrPlanResult, plan_tmr
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
@@ -98,17 +105,24 @@ def run_tmr_schemes(
     cost_model_st: OpCostModel | None = None,
     cost_model_wg: OpCostModel | None = None,
     step: float = 0.25,
+    engine: CampaignEngine | None = None,
 ) -> dict[str, SchemeCurve]:
     """Produce Fig. 5's three overhead-vs-accuracy-goal curves.
 
     Goals are processed in ascending order with warm-started plans
     (protection needed for a goal is a superset of that for a lower goal).
+    ``engine`` is threaded into both vulnerability analyses and every
+    :func:`plan_tmr` call (default: serial in-process engine).
     """
     config = config or CampaignConfig()
     goals = sorted(goals)
 
-    vuln_st = layer_vulnerability(qm_standard, x, labels, ber, config=config)
-    vuln_wg = layer_vulnerability(qm_winograd, x, labels, ber, config=config)
+    vuln_st = layer_vulnerability(
+        qm_standard, x, labels, ber, config=config, engine=engine
+    )
+    vuln_wg = layer_vulnerability(
+        qm_winograd, x, labels, ber, config=config, engine=engine
+    )
     ranking_st = _ranking(vuln_st)
     ranking_wg = _ranking(vuln_wg)
 
@@ -123,7 +137,7 @@ def run_tmr_schemes(
         st_result = plan_tmr(
             qm_standard, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_st, step=step,
-            initial_plan=st_plan,
+            initial_plan=st_plan, engine=engine,
         )
         st_plan = st_result.plan
         curves[SCHEME_ST].goals.append(goal)
@@ -135,7 +149,7 @@ def run_tmr_schemes(
         unaware = plan_tmr(
             qm_winograd, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_wg, step=step,
-            initial_plan=mapped,
+            initial_plan=mapped, engine=engine,
         )
         curves[SCHEME_WG_WO_AFT].goals.append(goal)
         curves[SCHEME_WG_WO_AFT].results.append(unaware)
@@ -143,7 +157,7 @@ def run_tmr_schemes(
         aware = plan_tmr(
             qm_winograd, x, labels, ber, goal, ranking_wg,
             config=config, cost_model=cost_model_wg, step=step,
-            initial_plan=aware_plan,
+            initial_plan=aware_plan, engine=engine,
         )
         aware_plan = aware.plan
         curves[SCHEME_WG_W_AFT].goals.append(goal)

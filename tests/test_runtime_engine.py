@@ -2,8 +2,8 @@
 
 The engine's contract is bit-identical equivalence with the serial
 :func:`repro.faultsim.run_sweep` under every execution regime — multiple
-workers, checkpoint replay, partial resume — because each (BER, seed) unit
-owns its RNG and the recombination reuses the serial statistics code.
+workers, checkpoint replay, partial resume — because each task unit owns
+its RNG and the recombination reuses the serial statistics code.
 """
 
 from __future__ import annotations
@@ -13,13 +13,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.faultsim import CampaignConfig, run_sweep
+from repro.faultsim import CampaignConfig, ProtectionPlan, run_sweep
 from repro.runtime import (
     CampaignCheckpoint,
     CampaignEngine,
     campaign_fingerprint,
     model_fingerprint,
     point_key,
+    task_key,
 )
 from repro.runtime.progress import ProgressEvent
 
@@ -33,6 +34,22 @@ def config():
 
 def as_dicts(results):
     return [r.to_dict() for r in results]
+
+
+def checkpoint_lines(path):
+    """(header dict, point-record lines) of a version-2 checkpoint file."""
+    lines = path.read_text().splitlines()
+    return json.loads(lines[0]), lines[1:]
+
+
+def checkpoint_points(path):
+    """key -> record dict for every intact line of a checkpoint file."""
+    _, rows = checkpoint_lines(path)
+    points = {}
+    for line in rows:
+        row = json.loads(line)
+        points[row.pop("key")] = row
+    return points
 
 
 class TestEngineDeterminism:
@@ -92,16 +109,15 @@ class TestCheckpointResume:
             qm, x, y, BERS, config=config
         )
 
-        doc = json.loads(ckpt.read_text())
-        keys = sorted(doc["points"])
-        for key in keys[: len(keys) // 2]:
-            del doc["points"][key]
-        ckpt.write_text(json.dumps(doc))
+        header, rows = checkpoint_lines(ckpt)
+        dropped = len(rows) // 2
+        kept = rows[dropped:]
+        ckpt.write_text("\n".join([json.dumps(header)] + kept) + "\n")
 
         engine = CampaignEngine(workers=2, checkpoint_path=ckpt, resume=True)
         resumed = engine.run_sweep(qm, x, y, BERS, config=config)
         assert as_dicts(resumed) == as_dicts(serial)
-        assert engine.last_stats.computed_units == len(keys) // 2
+        assert engine.last_stats.computed_units == dropped
 
     def test_resume_false_recomputes(self, tiny_quantized, tiny_eval, config, tmp_path):
         qm, _ = tiny_quantized
@@ -128,8 +144,7 @@ class TestCheckpointResume:
         CampaignEngine(workers=1, checkpoint_path=ckpt, resume=False).run_sweep(
             qm, x, y, BERS[1:2], config=config
         )
-        doc = json.loads(ckpt.read_text())
-        assert len(doc["points"]) == 2 * len(config.seeds)
+        assert len(checkpoint_points(ckpt)) == 2 * len(config.seeds)
         engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
         resumed = engine.run_sweep(qm, x, y, BERS[:2], config=config)
         assert engine.last_stats.cached_units == 2 * len(config.seeds)
@@ -175,11 +190,37 @@ class TestCheckpointResume:
         CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
             qm, x, y, BERS[:1], config=config
         )
-        doc = json.loads(ckpt.read_text())
-        assert doc["version"] == 1
-        assert len(doc["points"]) == len(config.seeds)
-        for row in doc["points"].values():
-            assert set(row) == {"ber", "seed", "accuracy", "events"}
+        header, rows = checkpoint_lines(ckpt)
+        assert header == {"version": 2}
+        assert len(rows) == len(config.seeds)
+        for line in rows:
+            assert set(json.loads(line)) == {"key", "ber", "seed", "accuracy", "events"}
+
+    def test_legacy_v1_checkpoint_still_loads(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """A version-1 single-document file is read and upgraded on flush."""
+        from repro.faultsim import SeedPointResult
+
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt)
+        engine.run_sweep(qm, x, y, BERS[:1], config=config)
+        points = checkpoint_points(ckpt)
+
+        # Rewrite the same content in the legacy format.
+        ckpt.write_text(json.dumps({"version": 1, "points": points}, indent=2))
+        resumed = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
+        resumed.run_sweep(qm, x, y, BERS[:2], config=config)
+        assert resumed.last_stats.cached_units == len(config.seeds)
+        # The flush upgraded the file to version 2 with all points intact.
+        header, rows = checkpoint_lines(ckpt)
+        assert header == {"version": 2}
+        assert len(rows) == 2 * len(config.seeds)
+        store = CampaignCheckpoint(ckpt)
+        for key, row in points.items():
+            assert store.get(key) == SeedPointResult.from_dict(row)
 
 
 class TestHashing:
@@ -301,17 +342,163 @@ class TestProgressAndCheckpointStore:
         assert not path.exists()
 
     def test_store_rejects_unknown_version(self, tmp_path):
-        from repro.errors import ConfigurationError
+        from repro.errors import CheckpointError
 
         path = tmp_path / "ck.json"
-        path.write_text(json.dumps({"version": 99, "points": {}}))
-        with pytest.raises(ConfigurationError):
+        path.write_text('{"version": 99}\n')
+        with pytest.raises(CheckpointError, match="unsupported version"):
+            CampaignCheckpoint(path)
+        # Legacy-style documents with a bad version are refused too.
+        path.write_text(json.dumps({"version": 99, "points": {}}, indent=2))
+        with pytest.raises(CheckpointError, match="unsupported version"):
             CampaignCheckpoint(path)
 
-    def test_store_rejects_corrupt_json(self, tmp_path):
-        from repro.errors import ConfigurationError
+    def test_store_rejects_corrupt_header(self, tmp_path):
+        """A file with no readable header raises CheckpointError — never a
+        raw JSONDecodeError — and CheckpointError is a ConfigurationError,
+        so existing guards keep working."""
+        from repro.errors import CheckpointError, ConfigurationError
 
         path = tmp_path / "ck.json"
         path.write_text("{garbage")
-        with pytest.raises(ConfigurationError, match="not valid JSON"):
+        with pytest.raises(CheckpointError, match="not valid JSON"):
             CampaignCheckpoint(path)
+        assert issubclass(CheckpointError, ConfigurationError)
+        assert not issubclass(CheckpointError, json.JSONDecodeError)
+
+
+class TestCheckpointRobustness:
+    """Damaged checkpoint lines: clean error, salvage, minimal recompute."""
+
+    def _damage_first_point_line(self, ckpt):
+        """Truncate the first point record mid-line (a crash mid-write)."""
+        lines = ckpt.read_text().splitlines()
+        damaged_row = json.loads(lines[1])
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        ckpt.write_text("\n".join(lines) + "\n")
+        return damaged_row
+
+    def test_strict_load_raises_clean_checkpoint_error(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        from repro.errors import CheckpointError
+
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        self._damage_first_point_line(ckpt)
+        with pytest.raises(CheckpointError, match="damaged line"):
+            CampaignCheckpoint(ckpt, strict=True)
+
+    def test_salvage_reports_damaged_lines(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS[:1], config=config
+        )
+        intact = len(checkpoint_points(ckpt))
+        self._damage_first_point_line(ckpt)
+        with pytest.warns(RuntimeWarning, match="damaged line"):
+            store = CampaignCheckpoint(ckpt)
+        assert store.damaged_lines == [2]
+        assert len(store) == intact - 1
+
+    def test_resume_recomputes_only_damaged_entries(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """--resume over a truncated checkpoint replays every intact entry
+        and recomputes exactly the damaged ones, bit-identical."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        serial = run_sweep(qm, x, y, BERS, config=config)
+        CampaignEngine(workers=1, checkpoint_path=ckpt).run_sweep(
+            qm, x, y, BERS, config=config
+        )
+        total = len(BERS) * len(config.seeds)
+        self._damage_first_point_line(ckpt)
+
+        engine = CampaignEngine(workers=2, checkpoint_path=ckpt, resume=True)
+        with pytest.warns(RuntimeWarning, match="damaged line"):
+            resumed = engine.run_sweep(qm, x, y, BERS, config=config)
+        assert as_dicts(resumed) == as_dicts(serial)
+        assert engine.last_stats.computed_units == 1
+        assert engine.last_stats.cached_units == total - 1
+        # The flush compacted the file: reloading sees no damage.
+        store = CampaignCheckpoint(ckpt, strict=True)
+        assert store.damaged_lines == [] and len(store) == total
+
+
+class TestProtectionPlanTaskHashing:
+    """Property-style tests for task keys over ProtectionPlan contents."""
+
+    LAYERS = ("c1", "c2", "fc", "conv_a", "conv_b")
+
+    def _random_fractions(self, rng):
+        from repro.winograd.opcount import ALL_CATEGORIES
+
+        pairs = [(layer, cat) for layer in self.LAYERS for cat in ALL_CATEGORIES]
+        chosen = rng.choice(len(pairs), size=rng.integers(1, 9), replace=False)
+        return {
+            pairs[i]: float(np.round(rng.uniform(0.05, 1.0), 3)) for i in chosen
+        }
+
+    def _key(self, plan, ber=1e-5, seed=0):
+        config = CampaignConfig(seeds=(0, 1))
+        return task_key("model-fp", "data-fp", config, ber, seed, plan)
+
+    def test_insertion_order_never_changes_key(self):
+        rng = np.random.default_rng(20260729)
+        for _ in range(25):
+            fractions = self._random_fractions(rng)
+            items = list(fractions.items())
+            forward, shuffled = ProtectionPlan(), ProtectionPlan()
+            for (layer, cat), frac in items:
+                forward.set(layer, cat, frac)
+            for i in rng.permutation(len(items)):
+                (layer, cat), frac = items[i]
+                shuffled.set(layer, cat, frac)
+            assert forward.cache_key() == shuffled.cache_key()
+            assert self._key(forward) == self._key(shuffled)
+
+    def test_any_fraction_change_changes_key(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            fractions = self._random_fractions(rng)
+            plan = ProtectionPlan()
+            for (layer, cat), frac in fractions.items():
+                plan.set(layer, cat, frac)
+            base = self._key(plan)
+            for (layer, cat), frac in fractions.items():
+                changed = plan.copy()
+                delta = 0.5 * frac if frac > 0.1 else frac + 0.1
+                changed.set(layer, cat, float(np.round(delta, 3)))
+                assert self._key(changed) != base, (layer, cat)
+
+    def test_zero_fractions_equal_absent_entries(self):
+        """Explicit 0.0 entries are canonicalized away: same key as a plan
+        that never mentions the pair."""
+        sparse = ProtectionPlan()
+        sparse.set("c1", "st_mul", 0.5)
+        padded = sparse.copy()
+        padded.set("c2", "st_add", 0.0)
+        padded.set("fc", "wg_mul", 0.0)
+        assert self._key(sparse) == self._key(padded)
+
+    def test_task_spec_key_matches_task_key(self):
+        from repro.runtime import TaskSpec
+
+        plan = ProtectionPlan()
+        plan.set("c1", "st_mul", 0.25)
+        config = CampaignConfig(seeds=(0,))
+        spec = TaskSpec(ber=3e-5, seed=4, protection=plan, tag="anything")
+        assert spec.key("m", "d", config) == task_key("m", "d", config, 3e-5, 4, plan)
+        # The tag is a label, not identity.
+        retagged = TaskSpec(ber=3e-5, seed=4, protection=plan, tag="other")
+        assert retagged.key("m", "d", config) == spec.key("m", "d", config)
