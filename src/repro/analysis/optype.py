@@ -7,12 +7,14 @@ sensitivity of multiplications), for any model/BER operating point.
 Execution model
 ---------------
 The three campaigns (baseline, muls-fault-free, adds-fault-free) are one
-batch of tasks submitted to
-:meth:`repro.runtime.CampaignEngine.evaluate_tasks`; pass ``engine=`` to
-shard the batch across workers with checkpoint/resume (the experiments
-CLI's ``--workers/--resume/--checkpoint`` reach here through Fig. 4).
-Without an engine a serial in-process engine is used; results are
-bit-identical in every case.
+batch of three seed-batch tasks submitted to
+:meth:`repro.runtime.CampaignEngine.evaluate_tasks`, which shards the
+per-seed subtasks across the pool and reduces each task back to a
+:class:`~repro.faultsim.campaign.CampaignResult`; pass ``engine=`` to
+shard the batch across workers with per-seed checkpoint/resume (the
+experiments CLI's ``--workers/--resume/--checkpoint`` reach here through
+Fig. 4).  Without an engine a serial in-process engine is used; results
+are bit-identical in every case.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.faultsim.campaign import CampaignConfig, combine_seed_results
+from repro.faultsim.campaign import CampaignConfig
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.engine import CampaignEngine
@@ -90,22 +92,11 @@ def operation_type_sensitivity(
     ]
     tags = ["baseline", "muls-fault-free", "adds-fault-free"]
     tasks = [
-        TaskSpec(ber=ber, seed=seed, protection=plan, tag=tag)
+        TaskSpec(ber=ber, seeds=tuple(config.seeds), protection=plan, tag=tag)
         for plan, tag in zip(plans, tags)
-        for seed in config.seeds
     ]
-    seed_results = engine.evaluate_tasks(qmodel, x, labels, tasks, config=config)
-
-    n_seeds = len(config.seeds)
-    baseline, muls_free, adds_free = (
-        combine_seed_results(
-            qmodel,
-            ber,
-            seed_results[i * n_seeds : (i + 1) * n_seeds],
-            config,
-            plans[i],
-        )
-        for i in range(3)
+    baseline, muls_free, adds_free = engine.evaluate_tasks(
+        qmodel, x, labels, tasks, config=config
     )
     return OpTypeSensitivity(
         ber=ber,

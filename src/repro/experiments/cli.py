@@ -15,6 +15,11 @@ campaign from its checkpoint::
 sweeps of figs 1–2/6–7 and the protected-evaluation batches behind figs
 3–5 (layer vulnerability, operation-type sensitivity, TMR planning) all
 execute through the same :class:`repro.runtime.CampaignEngine`.
+``--speculative`` applies to Fig. 5 only: the TMR planner evaluates
+several candidate protection plans per iteration concurrently and keeps
+the first (in the paper's deterministic growth order) that meets the
+accuracy goal — results identical to the serial heuristic, wall-clock
+much lower on multi-core machines (see ``docs/RUNTIME.md``).
 """
 
 from __future__ import annotations
@@ -79,6 +84,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="stream per-point campaign progress to stderr",
     )
+    parser.add_argument(
+        "--speculative",
+        action="store_true",
+        help="fig5 only: evaluate several TMR-planner candidates per "
+        "iteration concurrently (result-identical to the paper's serial "
+        "heuristic; pairs with --workers)",
+    )
     args = parser.parse_args(argv)
 
     profile = FULL if args.profile == "full" else QUICK
@@ -97,7 +109,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
             continue
         module = _FIGURES[name]
-        payload = module.run(profile=profile, engine=engine)
+        extra = {"speculative": args.speculative} if name == "fig5" else {}
+        payload = module.run(profile=profile, engine=engine, **extra)
         print(module.format_report(payload))
         print()
     return 0

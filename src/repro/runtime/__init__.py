@@ -3,18 +3,24 @@
 This package turns the serial Monte-Carlo loops of :mod:`repro.faultsim`
 and the protected-evaluation analyses built on them into an interruptible,
 parallel service.  :class:`CampaignEngine` dispatches independent
-:class:`TaskSpec` units — a (BER, seed) point under an optional protection
-plan — across a process pool via :meth:`CampaignEngine.evaluate_tasks`,
-records every completed task in a content-addressed JSON-lines checkpoint
-and resumes from it, while guaranteeing results bit-identical to serial
-execution.  Accuracy sweeps (:meth:`CampaignEngine.run_sweep`, figs
-1–2/6–7), layer vulnerability (Fig. 3), operation-type sensitivity
-(Fig. 4) and the TMR planner (Fig. 5) all route through the same engine.
+:class:`TaskSpec` units — a (BER, seed) point, or a whole seed batch,
+under an optional protection plan — across a process pool via
+:meth:`CampaignEngine.evaluate_tasks`.  Scheduling and checkpointing
+happen at *subtask* granularity (one entry per (BER, seed, plan)
+evaluation in a content-addressed JSON-lines file), so a single seed-batch
+task shards across the whole pool and an interrupted batch resumes with
+only its missing seeds recomputed, while results stay bit-identical to
+serial execution.  Accuracy sweeps (:meth:`CampaignEngine.run_sweep`,
+figs 1–2/6–7), layer vulnerability (Fig. 3), operation-type sensitivity
+(Fig. 4) and the TMR planner (Fig. 5, including its speculative mode) all
+route through the same engine.  See ``docs/RUNTIME.md`` for the full
+contract and ``docs/ARCHITECTURE.md`` for the data flow.
 """
 
 from repro.runtime.checkpoint import CampaignCheckpoint
 from repro.runtime.engine import CampaignEngine, SweepStats, resolve_workers
 from repro.runtime.hashing import (
+    batch_task_keys,
     campaign_fingerprint,
     data_fingerprint,
     model_fingerprint,
@@ -41,6 +47,7 @@ __all__ = [
     "data_fingerprint",
     "point_key",
     "task_key",
+    "batch_task_keys",
     "ProgressEvent",
     "ProgressReporter",
     "ThroughputMeter",

@@ -1,12 +1,17 @@
 """JSON-lines checkpoint store for interruptible campaign batches.
 
-The engine records every completed task under its content-hash key
-(:mod:`repro.runtime.hashing`).  The store is line-oriented so damage is
-*localized*: completed tasks append one self-contained JSON line each, a
-crash mid-write can truncate at most the final line, and loading salvages
-every intact line while reporting the damaged ones (see
+The engine records every completed *subtask* — one (BER, seed) evaluation
+under one protection plan — under its content-hash key
+(:mod:`repro.runtime.hashing`).  Because entries live at subtask
+granularity, a seed-batch task interrupted mid-way leaves its finished
+seeds on disk and a resumed engine recomputes only the missing ones; a
+seed-batch task and the equivalent per-seed point tasks share the same
+entries.  The store is line-oriented so damage is *localized*: completed
+subtasks append one self-contained JSON line each, a crash mid-write can
+truncate at most the final line, and loading salvages every intact line
+while reporting the damaged ones (see
 :class:`repro.errors.CheckpointError`).  A resumed engine replays the
-salvaged tasks from disk and recomputes only the damaged entries.
+salvaged subtasks from disk and recomputes only the damaged entries.
 
 File format (version 2)::
 

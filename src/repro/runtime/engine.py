@@ -1,27 +1,39 @@
 """Parallel campaign execution engine.
 
 :class:`CampaignEngine` executes batches of *protected-evaluation tasks*
-(:class:`repro.runtime.tasks.TaskSpec` — one (BER, seed) point under an
-optional protection plan) across a ``multiprocessing`` worker pool,
-checkpoints every completed task to disk, and resumes interrupted batches
-from that checkpoint.
+(:class:`repro.runtime.tasks.TaskSpec` — a (BER, seed) point, or a whole
+seed batch, under an optional protection plan) across a
+``multiprocessing`` worker pool, checkpoints every completed subtask to
+disk, and resumes interrupted batches from that checkpoint.
 
 :meth:`CampaignEngine.evaluate_tasks` is the primitive; everything else is
 a wrapper over it: :meth:`run_sweep` expands a BER grid into unprotected
-(BER, seed) tasks (figs 1–2/6–7), while the layer-vulnerability analysis
+seed-batch tasks (figs 1–2/6–7), while the layer-vulnerability analysis
 (:func:`repro.analysis.layer_vulnerability`, Fig. 3), operation-type
 sensitivity (:func:`repro.analysis.operation_type_sensitivity`, Fig. 4)
 and the fine-grained TMR planner (:func:`repro.tmr.plan_tmr`, Fig. 5)
 submit per-plan task batches directly.
 
+Subtask sharding
+----------------
+The engine's unit of *scheduling and checkpointing* is the **subtask** —
+one (BER, seed, plan) evaluation (:meth:`TaskSpec.subtasks`).  Every task
+in a batch is expanded to its subtasks first, so a single seed-batch task
+(e.g. one TMR-planner candidate over all campaign seeds) still fans out
+across the whole pool instead of occupying one worker, and the checkpoint
+records per-seed entries: resuming an interrupted batch recomputes only
+the missing seeds.  Seed-batch tasks are reduced back (in seed order,
+with :func:`repro.faultsim.combine_seed_results` — the exact serial
+statistics code) into one :class:`CampaignResult` per task.
+
 Determinism contract
 --------------------
-Each task (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG seed
-and touches no shared mutable state, so scheduling cannot change any
+Each subtask (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG
+seed and touches no shared mutable state, so scheduling cannot change any
 result: an engine batch with any worker count — or any mix of live and
-checkpointed tasks — is **bit-identical** to the serial loops it replaces.
-``workers=1`` runs the tasks in-process without a pool and is the serial
-path itself.
+checkpointed subtasks — is **bit-identical** to the serial loops it
+replaces.  ``workers=1`` runs the subtasks in-process without a pool and
+is the serial path itself.
 
 Worker-pool mechanics
 ---------------------
@@ -55,10 +67,9 @@ from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.checkpoint import CampaignCheckpoint
 from repro.runtime.hashing import (
-    campaign_fingerprint,
+    batch_task_keys,
     data_fingerprint,
     model_fingerprint,
-    point_key,
 )
 from repro.runtime.progress import (
     ProgressEvent,
@@ -83,7 +94,13 @@ def resolve_workers(workers: int | None) -> int:
 
 @dataclass
 class SweepStats:
-    """Bookkeeping for the engine's most recent task batch."""
+    """Bookkeeping for the engine's most recent task batch.
+
+    Units are counted at *subtask* granularity — one per (BER, seed,
+    plan) evaluation — so a seed-batch task contributes ``len(seeds)``
+    units and a partially checkpointed batch reports exactly how many
+    seeds were served from cache versus recomputed.
+    """
 
     total_units: int = 0
     computed_units: int = 0
@@ -175,27 +192,44 @@ class CampaignEngine:
         labels: np.ndarray,
         tasks: list[TaskSpec],
         config: CampaignConfig | None = None,
-    ) -> list[SeedPointResult]:
+    ) -> list[SeedPointResult | CampaignResult]:
         """Evaluate a batch of tasks against one model; results in task order.
 
-        The batch is the engine's unit of scheduling: all pending tasks —
-        whatever mix of (BER, seed) points and protection plans they carry
-        — shard across one worker pool, and every completed task is
-        checkpointed under its content hash.  Results are bit-identical to
-        evaluating the tasks serially in order, for any worker count.
+        Every task is first expanded to its per-seed subtasks
+        (:meth:`TaskSpec.subtasks`), and the *subtask* is the engine's
+        unit of scheduling: all pending subtasks — whatever mix of (BER,
+        seed) points and protection plans they carry — shard across one
+        worker pool, and every completed subtask is checkpointed under
+        its content hash, so ``resume`` recomputes only the missing seeds
+        of an interrupted batch.
+
+        Each result slot matches its task's shape: a point task yields
+        its :class:`SeedPointResult`, a seed-batch task the
+        :class:`CampaignResult` reduced from its per-seed results in seed
+        order.  Both are bit-identical to evaluating the tasks serially
+        in order, for any worker count.
         """
         config = config or CampaignConfig()
         meter = ThroughputMeter()
 
-        keys = self._task_keys(qmodel, x, labels, tasks, config)
+        # Expand to subtask granularity; spans[i] is task i's slice into
+        # the flat unit table.
+        units: list[TaskSpec] = []
+        spans: list[tuple[int, int]] = []
+        for task in tasks:
+            start = len(units)
+            units.extend(task.subtasks())
+            spans.append((start, len(units)))
+
+        keys = self._unit_keys(qmodel, x, labels, units, config)
         checkpoint = self._open_checkpoint()
 
-        # Cached tasks are only *served* under the resume policy; the
+        # Cached subtasks are only *served* under the resume policy; the
         # checkpoint itself always merges (completed work is never wiped).
         serve_cache = checkpoint is not None and self.resume
-        slots: list[SeedPointResult | None] = [None] * len(tasks)
+        slots: list[SeedPointResult | None] = [None] * len(units)
         pending: list[int] = []
-        for index in range(len(tasks)):
+        for index in range(len(units)):
             cached = checkpoint.get(keys[index]) if serve_cache else None
             if cached is not None:
                 slots[index] = cached
@@ -207,11 +241,11 @@ class CampaignEngine:
             if result is not None:
                 done += 1
                 self._report(
-                    meter, done, len(tasks), result, tasks[index].tag,
+                    meter, done, len(units), result, units[index].tag,
                     cached=True, elapsed=0.0,
                 )
 
-        payload = (qmodel, x, labels, config, tasks)
+        payload = (qmodel, x, labels, config, units)
         if pending:
             executor = (
                 self._run_parallel
@@ -224,20 +258,23 @@ class CampaignEngine:
                 if checkpoint is not None:
                     checkpoint.put(keys[index], result)
                 self._report(
-                    meter, done, len(tasks), result, tasks[index].tag,
+                    meter, done, len(units), result, units[index].tag,
                     cached=False, elapsed=elapsed,
                 )
         if checkpoint is not None:
             checkpoint.flush()
 
         self.last_stats = SweepStats(
-            total_units=len(tasks),
+            total_units=len(units),
             computed_units=len(pending),
-            cached_units=len(tasks) - len(pending),
+            cached_units=len(units) - len(pending),
             workers=self.workers,
             elapsed_seconds=meter.elapsed,
         )
-        return slots
+        return [
+            self._reduce(qmodel, task, slots[start:end], config)
+            for task, (start, end) in zip(tasks, spans)
+        ]
 
     def run_point(
         self,
@@ -263,29 +300,17 @@ class CampaignEngine:
         """Engine-executed equivalent of :func:`repro.faultsim.run_sweep`.
 
         A thin wrapper over :meth:`evaluate_tasks`: the BER grid expands
-        into one task per (BER, seed) sharing ``protection``, ordered
-        ber-major then seed so recombination reads contiguous slices.
-        Returns one :class:`CampaignResult` per BER, in input order,
-        bit-identical to serial execution.
+        into one seed-batch task per BER sharing ``protection``; the
+        engine shards the per-seed subtasks (ber-major, seed-minor) and
+        reduces each batch back.  Returns one :class:`CampaignResult` per
+        BER, in input order, bit-identical to serial execution.
         """
         config = config or CampaignConfig()
         tasks = [
-            TaskSpec(ber=ber, seed=seed, protection=protection)
+            TaskSpec(ber=ber, seeds=tuple(config.seeds), protection=protection)
             for ber in bers
-            for seed in config.seeds
         ]
-        results = self.evaluate_tasks(qmodel, x, labels, tasks, config=config)
-        n_seeds = len(config.seeds)
-        return [
-            combine_seed_results(
-                qmodel,
-                ber,
-                results[i * n_seeds : (i + 1) * n_seeds],
-                config,
-                protection,
-            )
-            for i, ber in enumerate(bers)
-        ]
+        return self.evaluate_tasks(qmodel, x, labels, tasks, config=config)
 
     # --- internals ---------------------------------------------------------------
     def _open_checkpoint(self) -> CampaignCheckpoint | None:
@@ -297,16 +322,31 @@ class CampaignEngine:
             )
         return self._checkpoint
 
-    def _task_keys(
+    def _reduce(
+        self,
+        qmodel: QuantizedModel,
+        task: TaskSpec,
+        per_seed: list[SeedPointResult],
+        config: CampaignConfig,
+    ):
+        """Fold a task's per-seed subtask results into its result shape."""
+        if not task.is_batch:
+            return per_seed[0]
+        return combine_seed_results(
+            qmodel, task.ber, per_seed, config, task.protection
+        )
+
+    def _unit_keys(
         self,
         qmodel: QuantizedModel,
         x: np.ndarray,
         labels: np.ndarray,
-        tasks: list[TaskSpec],
+        units: list[TaskSpec],
         config: CampaignConfig,
     ) -> list[str]:
+        """Checkpoint keys for a subtask-granularity unit table."""
         if self.checkpoint_path is None:
-            return [""] * len(tasks)
+            return [""] * len(units)
         memo = (id(qmodel), id(x), id(labels), config.max_samples)
         cached = self._fingerprints.get(memo)
         if cached is None:
@@ -324,18 +364,7 @@ class CampaignEngine:
             )
             self._fingerprints[memo] = cached
         model_fp, data_fp = cached[0], cached[1]
-        # One campaign fingerprint per distinct protection plan, not per
-        # task: a Fig. 3 batch reuses each plan across all its seeds.
-        campaign_fps: dict[tuple | None, str] = {}
-        keys = []
-        for task in tasks:
-            plan_id = task.protection.cache_key() if task.protection else None
-            campaign_fp = campaign_fps.get(plan_id)
-            if campaign_fp is None:
-                campaign_fp = campaign_fingerprint(config, task.protection)
-                campaign_fps[plan_id] = campaign_fp
-            keys.append(point_key(model_fp, campaign_fp, data_fp, task.ber, task.seed))
-        return keys
+        return batch_task_keys(model_fp, data_fp, config, units)
 
     def _report(
         self,

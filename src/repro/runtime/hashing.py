@@ -6,6 +6,14 @@ campaign configuration (injector, fault model, protection, sample budget),
 the evaluation data and the (BER, seed) point itself.  Each of those
 contributes to the point key; any drift produces a different key and the
 point is recomputed rather than silently served stale.
+
+Keys exist only at *subtask* granularity — one per (model, campaign, data,
+BER, seed, plan) evaluation.  A seed-batch task (one
+:class:`~repro.runtime.tasks.TaskSpec` carrying ``seeds=``) is keyed as
+its per-seed subtasks, which is what lets ``--resume`` recompute exactly
+the missing seeds of an interrupted batch; :func:`batch_task_keys` is the
+engine's bulk entry point and memoizes the per-plan campaign fingerprint
+across a batch (a Fig. 3 batch reuses each plan across all its seeds).
 """
 
 from __future__ import annotations
@@ -23,10 +31,12 @@ __all__ = [
     "data_fingerprint",
     "point_key",
     "task_key",
+    "batch_task_keys",
 ]
 
 
 def _digest(payload: dict) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON form."""
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -147,3 +157,30 @@ def task_key(
     return point_key(
         model_fp, campaign_fingerprint(config, protection), data_fp, ber, seed
     )
+
+
+def batch_task_keys(
+    model_fp: str,
+    data_fp: str,
+    config: CampaignConfig,
+    tasks: list,
+) -> list[str]:
+    """Checkpoint keys for a batch of *point* tasks, one per task.
+
+    Equivalent to ``[t.key(model_fp, data_fp, config) for t in tasks]``
+    but computes each distinct protection plan's campaign fingerprint only
+    once per batch: a Fig. 3 batch reuses each plan across all its seeds,
+    and the TMR planner's speculative batches reuse each candidate plan
+    the same way.  ``tasks`` must already be expanded to subtask
+    granularity (no seed-batch tasks).
+    """
+    campaign_fps: dict[tuple | None, str] = {}
+    keys = []
+    for task in tasks:
+        plan_id = task.protection.cache_key() if task.protection else None
+        campaign_fp = campaign_fps.get(plan_id)
+        if campaign_fp is None:
+            campaign_fp = campaign_fingerprint(config, task.protection)
+            campaign_fps[plan_id] = campaign_fp
+        keys.append(point_key(model_fp, campaign_fp, data_fp, task.ber, task.seed))
+    return keys

@@ -7,22 +7,36 @@ paper's remaining analyses do not fit that shape: layer-wise vulnerability
 sensitivity (Fig. 4) evaluates three plans, and the TMR planner (Fig. 5)
 evaluates a freshly grown plan every iteration.
 
-:class:`TaskSpec` captures the general unit: one protected evaluation of a
-model at a (BER, seed) point under an optional :class:`ProtectionPlan`,
-labelled with a free-form ``tag`` for progress reporting.  The task's
-*identity* — what makes a checkpoint entry reusable — is the content hash
-produced by :meth:`TaskSpec.key`, which binds the model fingerprint, the
-evaluation-data fingerprint, the campaign configuration, the point and the
-plan.  The model hash is bound by the engine at dispatch time (tasks are
-model-relative; :meth:`CampaignEngine.evaluate_tasks` evaluates a batch of
-tasks against one model), and the ``tag`` deliberately does not contribute:
-the same evaluation reached from different figures shares one cache entry.
+:class:`TaskSpec` captures the general unit in two shapes:
+
+* a **point task** (``seed=``) — one protected evaluation of a model at a
+  (BER, seed) point, producing a
+  :class:`~repro.faultsim.campaign.SeedPointResult`;
+* a **seed-batch task** (``seeds=``) — the same evaluation over a whole
+  tuple of seeds, which the engine splits into per-seed *subtasks*, shards
+  across its worker pool, and reduces (in seed order, with the exact serial
+  statistics code) into one
+  :class:`~repro.faultsim.campaign.CampaignResult`.
+
+The task's *identity* — what makes a checkpoint entry reusable — always
+lives at subtask granularity: each (BER, seed) subtask is keyed by the
+content hash produced by :meth:`TaskSpec.key`, which binds the model
+fingerprint, the evaluation-data fingerprint, the campaign configuration,
+the point and the plan.  A seed-batch task therefore has no key of its own;
+a resumed engine recomputes only the *missing seeds* of an interrupted
+batch, and a batch task shares its per-seed checkpoint entries with the
+equivalent point tasks.  The model hash is bound by the engine at dispatch
+time (tasks are model-relative; :meth:`CampaignEngine.evaluate_tasks`
+evaluates a batch of tasks against one model), and the ``tag`` deliberately
+does not contribute: the same evaluation reached from different figures
+shares one cache entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.faultsim.campaign import CampaignConfig
 from repro.faultsim.protection import ProtectionPlan
 from repro.runtime.hashing import task_key
@@ -32,7 +46,10 @@ __all__ = ["TaskSpec"]
 
 @dataclass(frozen=True)
 class TaskSpec:
-    """One protected evaluation: a (BER, seed) point under a protection plan.
+    """One protected evaluation: a (BER, seed(s)) point under a plan.
+
+    Exactly one of ``seed`` (point task) and ``seeds`` (seed-batch task)
+    must be provided.
 
     Parameters
     ----------
@@ -40,26 +57,74 @@ class TaskSpec:
         Bit error rate of the fault injection.
     seed:
         RNG seed owned by this unit; together with ``ber`` and the plan it
-        fully determines the result (the unit is pure).
+        fully determines the result (the unit is pure).  Mutually
+        exclusive with ``seeds``.
     protection:
         Optional :class:`ProtectionPlan` applied during this evaluation
         only.  ``None`` means unprotected (the sweep default).
     tag:
         Human-readable label (e.g. ``"fault-free:c2"`` or ``"tmr-iter3"``)
         surfaced in progress events.  Not part of the task's identity.
+    seeds:
+        Seed tuple for a seed-batch task.  The engine shards the batch
+        into one per-seed subtask each (see :meth:`subtasks`) and reduces
+        the results into a single
+        :class:`~repro.faultsim.campaign.CampaignResult` in seed order.
     """
 
     ber: float
-    seed: int
+    seed: int | None = None
     protection: ProtectionPlan | None = None
     tag: str = field(default="", compare=False)
+    seeds: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        """Validate the point/seed-batch shape invariant."""
+        if (self.seed is None) == (self.seeds is None):
+            raise ConfigurationError(
+                "TaskSpec requires exactly one of seed= (point task) or "
+                f"seeds= (seed-batch task); got seed={self.seed!r} "
+                f"seeds={self.seeds!r}"
+            )
+        if self.seeds is not None:
+            if len(self.seeds) == 0:
+                raise ConfigurationError("TaskSpec seeds= must be non-empty")
+            object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+
+    @property
+    def is_batch(self) -> bool:
+        """True for a seed-batch task (reduced to a CampaignResult)."""
+        return self.seeds is not None
+
+    def subtasks(self) -> tuple["TaskSpec", ...]:
+        """The point tasks this task shards into, in seed order.
+
+        A point task is its own (singleton) subtask; a seed-batch task
+        yields one point task per seed, sharing its BER, plan and tag.
+        The engine dispatches and checkpoints at this granularity.
+        """
+        if self.seeds is None:
+            return (self,)
+        return tuple(
+            TaskSpec(
+                ber=self.ber, seed=seed, protection=self.protection, tag=self.tag
+            )
+            for seed in self.seeds
+        )
 
     def key(self, model_fp: str, data_fp: str, config: CampaignConfig) -> str:
-        """Content-addressed checkpoint key for this task.
+        """Content-addressed checkpoint key for this point task.
 
         ``model_fp``/``data_fp`` come from :func:`model_fingerprint` /
         :func:`data_fingerprint`; the engine computes them once per batch.
+        Seed-batch tasks have no key of their own — their identity lives
+        in their :meth:`subtasks` — so calling this on one raises
+        :class:`~repro.errors.ConfigurationError`.
         """
+        if self.is_batch:
+            raise ConfigurationError(
+                "a seed-batch TaskSpec has no single key; key its subtasks()"
+            )
         return task_key(
             model_fp, data_fp, config, self.ber, self.seed, self.protection
         )

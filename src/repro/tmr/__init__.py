@@ -2,11 +2,14 @@
 
 :func:`plan_tmr` and :func:`run_tmr_schemes` accept an ``engine=``
 argument (:class:`repro.runtime.CampaignEngine`): every candidate-plan
-evaluation is batched as per-seed tasks through
-:meth:`~repro.runtime.CampaignEngine.evaluate_tasks`, giving Fig. 5
-``--workers/--resume/--checkpoint`` support with convergence bit-identical
-to the serial path.  Omitting ``engine`` falls back to a serial in-process
-engine.
+evaluation is one seed-batch task through
+:meth:`~repro.runtime.CampaignEngine.evaluate_tasks` (sharded per-seed
+across the pool), giving Fig. 5 ``--workers/--resume/--checkpoint``
+support with convergence bit-identical to the serial path.  Omitting
+``engine`` falls back to a serial in-process engine.  ``speculative=True``
+additionally evaluates several candidates of the planner's deterministic
+growth chain concurrently per iteration — result-identical, documented in
+:mod:`repro.tmr.planner`.
 """
 
 from repro.tmr.cost import OpCostModel, full_protection_energy, tmr_overhead_energy

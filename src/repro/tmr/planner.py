@@ -12,14 +12,39 @@ with the Monte-Carlo campaign machinery.
 Execution model
 ---------------
 Each iteration evaluates the candidate plan through
-:meth:`repro.runtime.CampaignEngine.evaluate_tasks` (one task per campaign
-seed, the candidate's fractions attached as the task's protection plan).
-Pass ``engine=`` to shard those per-iteration evaluations across workers
-and checkpoint/resume them (the experiments CLI's
-``--workers/--resume/--checkpoint`` reach here through Fig. 5); without an
-engine a serial in-process engine is used.  Convergence — ``iterations``,
-``converged`` and the chosen fractions — is bit-identical for any worker
-count because every task owns its RNG seed.
+:meth:`repro.runtime.CampaignEngine.evaluate_tasks` (one seed-batch task
+per candidate, sharded per-seed across the pool).  Pass ``engine=`` to
+shard those per-iteration evaluations across workers and checkpoint/resume
+them (the experiments CLI's ``--workers/--resume/--checkpoint`` reach here
+through Fig. 5); without an engine a serial in-process engine is used.
+Convergence — ``iterations``, ``converged`` and the chosen fractions — is
+bit-identical for any worker count because every subtask owns its RNG
+seed.
+
+Speculative mode
+----------------
+One iteration evaluates one candidate over ``len(config.seeds)`` seeds —
+typically fewer subtasks than workers, leaving most of the pool idle.
+``speculative=True`` exploits a property of the paper's heuristic: the
+increment rule (:func:`_next_increment`) depends only on the vulnerability
+ranking and the current plan, *never on a measured accuracy*, so the
+sequence of candidate plans the serial loop would evaluate is fully
+predetermined.  The speculative planner therefore evaluates the next
+``lookahead`` candidates of that exact chain concurrently (one engine
+batch per round) and keeps the **first candidate in chain order** that
+meets the accuracy goal — the same candidate the serial loop would have
+stopped at.
+
+Deviation from the paper's heuristic: the *outputs* (plan, iterations,
+convergence, history) are identical to the serial heuristic, but up to
+``lookahead - 1`` candidates *past* the convergence point are evaluated
+speculatively and discarded.  That costs extra evaluation energy, and the
+discarded evaluations are visible as extra checkpoint entries (harmless:
+they are keyed like any other subtask and simply never served).  Were the
+increment rule ever made accuracy-dependent (e.g. adaptive step sizes),
+speculation would change the trajectory and this equivalence would no
+longer hold — which is why the mode is opt-in (``speculative=False``
+default, ``--speculative`` on the CLI).
 """
 
 from __future__ import annotations
@@ -33,6 +58,7 @@ from repro.faultsim.campaign import CampaignConfig
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.engine import CampaignEngine
+from repro.runtime.tasks import TaskSpec
 from repro.tmr.cost import OpCostModel, tmr_overhead_energy
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
@@ -41,7 +67,29 @@ __all__ = ["TmrPlanResult", "plan_tmr"]
 
 @dataclass
 class TmrPlanResult:
-    """Outcome of one TMR planning run."""
+    """Outcome of one TMR planning run.
+
+    Attributes
+    ----------
+    plan:
+        The grown :class:`ProtectionPlan` (the last evaluated candidate).
+    achieved_accuracy:
+        Mean accuracy of ``plan`` at ``ber`` (the last history entry).
+    overhead_energy:
+        TMR energy overhead of ``plan`` under the run's cost model.
+    target_accuracy:
+        The accuracy goal the planner grew towards.
+    ber:
+        Operating bit error rate of the planning campaign.
+    iterations:
+        Number of candidate plans evaluated *on the serial trajectory*
+        (speculative overshoot evaluations are not counted).
+    converged:
+        True when ``achieved_accuracy >= target_accuracy``.
+    history:
+        One ``{"iteration", "accuracy", "overhead"}`` dict per counted
+        iteration, identical between serial and speculative planning.
+    """
 
     plan: ProtectionPlan
     achieved_accuracy: float
@@ -87,6 +135,8 @@ def _next_increment(
 
     Multiplication categories are filled before addition categories within
     each layer.  Returns False when every (layer, category) is saturated.
+    Deliberately independent of any measured accuracy — this is what makes
+    the speculative planner's candidate chain exact (see module docs).
     """
     by_name = {layer.name: layer for layer in qmodel.injectable_layers()}
     for layer_name, _vf in ranking:
@@ -97,6 +147,38 @@ def _next_increment(
                 plan.set(layer_name, category, min(1.0, current + step))
                 return True
     return False
+
+
+def _candidate_chain(
+    qmodel: QuantizedModel,
+    plan: ProtectionPlan,
+    ranking: list[tuple[str, float]],
+    step: float,
+    length: int,
+) -> tuple[list[ProtectionPlan], bool]:
+    """The next ``length`` plans the serial heuristic would evaluate.
+
+    ``plan`` (not yet evaluated) is the chain's first candidate; each
+    successor applies one deterministic increment to a copy of its
+    predecessor.  Returns ``(chain, saturated)`` where ``saturated`` means
+    the last chain entry has no successor (every fraction at 1.0), so the
+    chain may be shorter than requested.
+    """
+    chain = [plan]
+    saturated = False
+    while len(chain) < length:
+        successor = chain[-1].copy()
+        if not _next_increment(qmodel, successor, ranking, step):
+            saturated = True
+            break
+        chain.append(successor)
+    return chain, saturated
+
+
+def _default_lookahead(engine: CampaignEngine, config: CampaignConfig) -> int:
+    """Candidates per speculative round: enough subtasks to fill the pool."""
+    seeds = max(1, len(config.seeds))
+    return max(2, -(-engine.workers // seeds))
 
 
 def plan_tmr(
@@ -112,25 +194,59 @@ def plan_tmr(
     initial_plan: ProtectionPlan | None = None,
     max_iterations: int = 400,
     engine: CampaignEngine | None = None,
+    speculative: bool = False,
+    lookahead: int | None = None,
 ) -> TmrPlanResult:
     """Grow a protection plan until ``target_accuracy`` is reached at ``ber``.
 
     Parameters
     ----------
+    qmodel:
+        Quantized model whose execution mode the plan protects.
+    x, labels:
+        Evaluation batch the planning campaign scores accuracy on.
+    ber:
+        Operating bit error rate for every candidate evaluation.
+    target_accuracy:
+        Accuracy goal in ``(0, 1]``; planning stops at the first candidate
+        meeting it.
     vulnerability_ranking:
         ``(layer, vulnerability_factor)`` pairs, most vulnerable first.
         Passing a ranking measured on a *different* execution mode is how
         the fault-tolerance-unaware scheme (WG-Conv-W/O-AFT) is realized.
+    config:
+        Campaign configuration (seeds, budget); default
+        :class:`CampaignConfig`.
+    cost_model:
+        :class:`OpCostModel` for overhead accounting; defaults to the
+        model's width.
     step:
         Protection-fraction increment per iteration.
     initial_plan:
         Starting plan (copied); used to warm-start scheme comparisons.
+    max_iterations:
+        Upper bound on counted candidate evaluations.
     engine:
-        Optional :class:`~repro.runtime.CampaignEngine`.  Each iteration's
-        candidate evaluation is batched as per-seed tasks through
-        :meth:`~repro.runtime.CampaignEngine.evaluate_tasks` (sharded,
-        checkpointed); the default is a serial in-process engine.
-        Convergence is bit-identical either way.
+        Optional :class:`~repro.runtime.CampaignEngine`.  Each candidate
+        evaluation is one seed-batch task through
+        :meth:`~repro.runtime.CampaignEngine.evaluate_tasks` (sharded
+        per-seed, checkpointed); the default is a serial in-process
+        engine.  Convergence is bit-identical either way.
+    speculative:
+        Evaluate ``lookahead`` candidates of the (predetermined) serial
+        chain concurrently per round and keep the first in chain order
+        meeting the goal.  Results are identical to the serial heuristic;
+        only extra overshoot evaluations are performed (see module docs
+        for the documented deviation).
+    lookahead:
+        Candidates per speculative round; default sizes the round to the
+        engine's pool (``ceil(workers / len(seeds))``, at least 2).
+
+    Returns
+    -------
+    TmrPlanResult
+        The grown plan with its convergence record; identical for any
+        worker count and for ``speculative`` on or off.
     """
     if not 0.0 < target_accuracy <= 1.0:
         raise ConfigurationError(f"bad target accuracy {target_accuracy}")
@@ -138,21 +254,58 @@ def plan_tmr(
     engine = engine if engine is not None else CampaignEngine(workers=1)
     cost_model = cost_model or OpCostModel(width=qmodel.config.width)
     plan = initial_plan.copy() if initial_plan is not None else ProtectionPlan()
+    if lookahead is not None and lookahead < 1:
+        raise ConfigurationError(f"lookahead must be >= 1, got {lookahead}")
+    depth = (
+        (lookahead or _default_lookahead(engine, config)) if speculative else 1
+    )
 
     history: list[dict] = []
     converged = False
     accuracy = 0.0
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        point = engine.run_point(qmodel, x, labels, ber, config=config, protection=plan)
-        accuracy = point.mean_accuracy
-        overhead = tmr_overhead_energy(qmodel, plan, cost_model)
-        history.append({"iteration": iterations, "accuracy": accuracy, "overhead": overhead})
-        if accuracy >= target_accuracy:
-            converged = True
+    while iterations < max_iterations and not converged:
+        length = min(depth, max_iterations - iterations)
+        chain, saturated = _candidate_chain(
+            qmodel, plan, vulnerability_ranking, step, length
+        )
+        tasks = [
+            TaskSpec(
+                ber=ber,
+                seeds=tuple(config.seeds),
+                protection=candidate,
+                tag=f"tmr-iter{iterations + offset + 1}",
+            )
+            for offset, candidate in enumerate(chain)
+        ]
+        points = engine.evaluate_tasks(qmodel, x, labels, tasks, config=config)
+        # Walk the round in chain order — the serial evaluation order —
+        # counting exactly the iterations the serial loop would have run.
+        for candidate, point in zip(chain, points):
+            iterations += 1
+            plan = candidate
+            accuracy = point.mean_accuracy
+            history.append(
+                {
+                    "iteration": iterations,
+                    "accuracy": accuracy,
+                    "overhead": tmr_overhead_energy(qmodel, candidate, cost_model),
+                }
+            )
+            if accuracy >= target_accuracy:
+                converged = True
+                break
+        if converged or saturated:
             break
-        if not _next_increment(qmodel, plan, vulnerability_ranking, step):
+        # Advance to the next round's first candidate.  Mirroring the
+        # serial loop, the increment is applied even when max_iterations
+        # was just exhausted: the returned plan is then one (unevaluated)
+        # increment past the last measured candidate, exactly as the
+        # serial heuristic leaves it.
+        successor = plan.copy()
+        if not _next_increment(qmodel, successor, vulnerability_ranking, step):
             break  # everything protected; cannot do better
+        plan = successor
 
     return TmrPlanResult(
         plan=plan,

@@ -13,7 +13,10 @@ All three schemes route their protected evaluations (the two vulnerability
 analyses and every planner iteration) through the
 :class:`~repro.runtime.CampaignEngine` passed as ``engine=``, so Fig. 5
 honors ``--workers/--resume/--checkpoint`` end-to-end; results are
-bit-identical to serial execution for any worker count.
+bit-identical to serial execution for any worker count.  Passing
+``speculative=True`` additionally enables the planner's lookahead mode
+(see :mod:`repro.tmr.planner`) for every scheme's planning runs —
+result-identical, but keeping the pool busy across planner iterations.
 """
 
 from __future__ import annotations
@@ -91,6 +94,7 @@ def map_plan_to_winograd(
 
 
 def _ranking(report) -> list[tuple[str, float]]:
+    """Planner-shaped (layer, vulnerability) pairs, most vulnerable first."""
     return [(lv.layer, lv.vulnerability_factor) for lv in report.ranked()]
 
 
@@ -106,13 +110,16 @@ def run_tmr_schemes(
     cost_model_wg: OpCostModel | None = None,
     step: float = 0.25,
     engine: CampaignEngine | None = None,
+    speculative: bool = False,
 ) -> dict[str, SchemeCurve]:
     """Produce Fig. 5's three overhead-vs-accuracy-goal curves.
 
     Goals are processed in ascending order with warm-started plans
     (protection needed for a goal is a superset of that for a lower goal).
     ``engine`` is threaded into both vulnerability analyses and every
-    :func:`plan_tmr` call (default: serial in-process engine).
+    :func:`plan_tmr` call (default: serial in-process engine);
+    ``speculative`` enables the planner's result-identical lookahead mode
+    for all three schemes.
     """
     config = config or CampaignConfig()
     goals = sorted(goals)
@@ -137,7 +144,7 @@ def run_tmr_schemes(
         st_result = plan_tmr(
             qm_standard, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_st, step=step,
-            initial_plan=st_plan, engine=engine,
+            initial_plan=st_plan, engine=engine, speculative=speculative,
         )
         st_plan = st_result.plan
         curves[SCHEME_ST].goals.append(goal)
@@ -149,7 +156,7 @@ def run_tmr_schemes(
         unaware = plan_tmr(
             qm_winograd, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_wg, step=step,
-            initial_plan=mapped, engine=engine,
+            initial_plan=mapped, engine=engine, speculative=speculative,
         )
         curves[SCHEME_WG_WO_AFT].goals.append(goal)
         curves[SCHEME_WG_WO_AFT].results.append(unaware)
@@ -157,7 +164,7 @@ def run_tmr_schemes(
         aware = plan_tmr(
             qm_winograd, x, labels, ber, goal, ranking_wg,
             config=config, cost_model=cost_model_wg, step=step,
-            initial_plan=aware_plan, engine=engine,
+            initial_plan=aware_plan, engine=engine, speculative=speculative,
         )
         aware_plan = aware.plan
         curves[SCHEME_WG_W_AFT].goals.append(goal)

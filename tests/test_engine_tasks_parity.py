@@ -9,6 +9,14 @@ three execution regimes:
 3. the task engine with multiple workers (``REPRO_PARITY_WORKERS``,
    default 4 — CI's tier-2 job re-runs this module with 2).
 
+The TMR planner adds a fourth regime: ``speculative=True``
+(:class:`TestFig5Speculative`), which evaluates several candidates of the
+planner's deterministic growth chain concurrently.  Because the paper's
+increment rule never consults a measured accuracy, speculation must be
+**result-identical** to the serial heuristic — same plan, iterations,
+convergence and history — with speculation off *and* on; CI's tier-2 job
+re-runs both against the frozen references.
+
 Equality is asserted on full serialized payloads, including derived
 artifacts that are sensitive to any reordering: the
 ``VulnerabilityReport.ranked()`` layer order and the per-iteration
@@ -18,6 +26,8 @@ artifacts that are sensitive to any reordering: the
 from __future__ import annotations
 
 import os
+
+import pytest
 
 from repro.analysis import layer_vulnerability, operation_type_sensitivity
 from repro.analysis.vulnerability import LayerVulnerability, VulnerabilityReport
@@ -265,6 +275,24 @@ class TestFig5Parity:
         )
         assert plan_summary(engine_result) == plan_summary(reference)
 
+    def test_speculative_off_matches_frozen_reference(
+        self, tiny_quantized, tiny_eval
+    ):
+        """The acceptance gate: with speculative=False the planner is the
+        paper's heuristic, bit-identical to the pre-engine serial loop."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ranking = self._ranking(qm)
+        reference = serial_plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, ranking, CONFIG, step=0.5
+        )
+        off = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, ranking, config=CONFIG,
+            step=0.5, speculative=False,
+            engine=CampaignEngine(workers=PARITY_WORKERS),
+        )
+        assert plan_summary(off) == plan_summary(reference)
+
     def test_scheme_curves_engine_parity(self, tiny_quantized, tiny_eval):
         """run_tmr_schemes (the full Fig. 5 pipeline) is engine-invariant,
         including every TmrPlanResult.history."""
@@ -285,3 +313,159 @@ class TestFig5Parity:
             histories_serial = [r.history for r in serial_curves[name].results]
             histories_engine = [r.history for r in engine_curves[name].results]
             assert histories_engine == histories_serial
+
+
+# --- Fig. 5: speculative planner parallelism ------------------------------------
+class TestFig5Speculative:
+    """Speculative planning is result-identical to the serial heuristic.
+
+    The increment rule is accuracy-independent, so the candidate chain the
+    speculative planner evaluates ahead of time is exactly the serial
+    trajectory; only overshoot evaluations past the convergence point
+    differ (they are discarded and merely visible as extra checkpoint
+    entries).
+    """
+
+    TARGET = 0.85
+    HARD_BER = 5e-4
+
+    def _ranking(self, qmodel):
+        return [(l.name, 1.0) for l in qmodel.injectable_layers()]
+
+    def _reference(self, qm, x, y, **kwargs):
+        return serial_plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm), CONFIG,
+            step=0.5, **kwargs,
+        )
+
+    def test_speculative_matches_serial_reference(self, tiny_quantized, tiny_eval):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        reference = self._reference(qm, x, y)
+        for lookahead in (None, 1, 2, 5):
+            speculative = plan_tmr(
+                qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+                config=CONFIG, step=0.5, speculative=True, lookahead=lookahead,
+                engine=CampaignEngine(workers=PARITY_WORKERS),
+            )
+            assert plan_summary(speculative) == plan_summary(reference), (
+                f"lookahead={lookahead}"
+            )
+        assert reference.iterations > 1, "regression guard: goal must be non-trivial"
+
+    def test_speculative_serial_engine_identical(self, tiny_quantized, tiny_eval):
+        """Speculation without a pool (workers=1) is still result-identical."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        speculative = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+            config=CONFIG, step=0.5, speculative=True, lookahead=3,
+            engine=CampaignEngine(workers=1),
+        )
+        assert plan_summary(speculative) == plan_summary(self._reference(qm, x, y))
+
+    def test_max_iterations_clamp_matches_serial(self, tiny_quantized, tiny_eval):
+        """A lookahead round never runs past max_iterations, and the
+        truncated result (including the serial loop's trailing unevaluated
+        increment) is identical."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        for cap in (1, 2, 3):
+            reference = self._reference(qm, x, y, max_iterations=cap)
+            speculative = plan_tmr(
+                qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+                config=CONFIG, step=0.5, speculative=True, lookahead=4,
+                max_iterations=cap, engine=CampaignEngine(workers=PARITY_WORKERS),
+            )
+            assert plan_summary(speculative) == plan_summary(reference), f"cap={cap}"
+            assert speculative.iterations <= cap
+
+    def test_saturation_without_convergence_matches_serial(
+        self, tiny_quantized, tiny_eval
+    ):
+        """An unreachable goal saturates every fraction; the speculative
+        planner must stop at the same iteration count, not converged."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        # Rank (and therefore protect) only the first layer: its categories
+        # saturate after a few increments while the rest of the network
+        # stays faulty at a far-past-cliff BER, so the goal stays out of
+        # reach and both planners must stop on the saturation path.
+        ranking = self._ranking(qm)[:1]
+        config = CampaignConfig(seeds=(0,), batch_size=24, max_samples=24)
+        reference = serial_plan_tmr(
+            qm, x, y, 5e-2, 1.0, ranking, config, step=0.5, max_iterations=50
+        )
+        speculative = plan_tmr(
+            qm, x, y, 5e-2, 1.0, ranking, config=config, step=0.5,
+            max_iterations=50, speculative=True, lookahead=3,
+            engine=CampaignEngine(workers=PARITY_WORKERS),
+        )
+        assert plan_summary(speculative) == plan_summary(reference)
+        assert not reference.converged, "saturation path must be exercised"
+        assert reference.iterations < 50
+
+    def test_speculative_overshoot_lands_in_checkpoint_harmlessly(
+        self, tiny_quantized, tiny_eval, tmp_path
+    ):
+        """The documented deviation: overshoot candidates are checkpointed
+        but never served to a non-speculative resume (different plans →
+        different keys), which stays bit-identical."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        ranking = self._ranking(qm)
+        speculative = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, ranking, config=CONFIG,
+            step=0.5, speculative=True, lookahead=4,
+            engine=CampaignEngine(
+                workers=PARITY_WORKERS, checkpoint_path=ckpt
+            ),
+        )
+        events = []
+        resumed_engine = CampaignEngine(
+            workers=1, checkpoint_path=ckpt, resume=True, progress=events.append
+        )
+        resumed = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, ranking, config=CONFIG,
+            step=0.5, speculative=False, engine=resumed_engine,
+        )
+        assert plan_summary(resumed) == plan_summary(speculative)
+        # Every non-speculative evaluation, across *all* planner
+        # iterations (last_stats only reflects the final evaluate_tasks
+        # call), was served from the checkpoint.
+        assert events and all(event.cached for event in events)
+
+    def test_scheme_curves_speculative_parity(self, tiny_quantized, tiny_eval):
+        """run_tmr_schemes(speculative=True) reproduces the serial curves,
+        including every TmrPlanResult.history."""
+        qm_st, qm_wg = tiny_quantized
+        x, y = tiny_eval
+        fault_free = qm_st.evaluate(x[:24], y[:24])
+        goals = [fault_free * 0.8]
+        serial_curves = run_tmr_schemes(
+            qm_st, qm_wg, x, y, CLIFF_BER, goals, config=CONFIG, step=0.5
+        )
+        speculative_curves = run_tmr_schemes(
+            qm_st, qm_wg, x, y, CLIFF_BER, goals, config=CONFIG, step=0.5,
+            engine=CampaignEngine(workers=PARITY_WORKERS), speculative=True,
+        )
+        assert set(speculative_curves) == set(serial_curves)
+        for name in serial_curves:
+            assert (
+                speculative_curves[name].to_dict() == serial_curves[name].to_dict()
+            )
+            assert [r.history for r in speculative_curves[name].results] == [
+                r.history for r in serial_curves[name].results
+            ]
+
+    def test_bad_lookahead_rejected(self, tiny_quantized, tiny_eval):
+        from repro.errors import ConfigurationError
+
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        with pytest.raises(ConfigurationError, match="lookahead"):
+            plan_tmr(
+                qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+                config=CONFIG, speculative=True, lookahead=0,
+            )

@@ -1,0 +1,203 @@
+"""Tests for intra-task seed sharding: seed-batch tasks and subtask resume.
+
+A seed-batch :class:`TaskSpec` (``seeds=``) shards into per-seed subtasks
+inside :meth:`CampaignEngine.evaluate_tasks`; the checkpoint is keyed at
+subtask granularity, so interrupting a batch mid-way ("kill mid-batch")
+and resuming must recompute exactly the missing seeds and still produce
+results bit-identical to the serial loops.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faultsim import CampaignConfig
+from repro.faultsim.campaign import CampaignResult, run_point, run_sweep
+from repro.runtime import CampaignEngine, TaskSpec
+
+BER = 1e-4
+SEEDS = (0, 1, 2, 3)
+
+
+@pytest.fixture()
+def config():
+    return CampaignConfig(seeds=SEEDS, batch_size=12, max_samples=24)
+
+
+def as_dicts(results):
+    return [r.to_dict() for r in results]
+
+
+class StopAfter:
+    """Progress reporter that simulates a crash after ``limit`` events."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.events = 0
+
+    def __call__(self, event) -> None:
+        self.events += 1
+        if self.events >= self.limit:
+            raise KeyboardInterrupt(f"simulated kill after {self.limit} subtasks")
+
+
+class TestTaskSpecShapes:
+    def test_point_and_batch_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            TaskSpec(ber=BER)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            TaskSpec(ber=BER, seed=0, seeds=(0, 1))
+
+    def test_empty_seed_batch_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            TaskSpec(ber=BER, seeds=())
+
+    def test_subtasks_expand_in_seed_order(self):
+        task = TaskSpec(ber=BER, seeds=(5, 3, 8), tag="batch")
+        subs = task.subtasks()
+        assert [t.seed for t in subs] == [5, 3, 8]
+        assert all(not t.is_batch for t in subs)
+        assert all(t.ber == BER and t.tag == "batch" for t in subs)
+        # A point task is its own singleton expansion.
+        point = TaskSpec(ber=BER, seed=7)
+        assert point.subtasks() == (point,)
+
+    def test_batch_task_has_no_single_key(self):
+        config = CampaignConfig(seeds=(0, 1))
+        batch = TaskSpec(ber=BER, seeds=(0, 1))
+        with pytest.raises(ConfigurationError, match="no single key"):
+            batch.key("m", "d", config)
+        # Its subtasks key exactly like the equivalent point tasks.
+        keys = [t.key("m", "d", config) for t in batch.subtasks()]
+        assert keys == [
+            TaskSpec(ber=BER, seed=s).key("m", "d", config) for s in (0, 1)
+        ]
+
+
+class TestSeedBatchEvaluation:
+    def test_batch_task_reduces_to_run_point(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        serial = run_point(qm, x, y, BER, config=config)
+        for workers in (1, 3):
+            engine = CampaignEngine(workers=workers)
+            (result,) = engine.evaluate_tasks(
+                qm, x, y, [TaskSpec(ber=BER, seeds=SEEDS)], config=config
+            )
+            assert isinstance(result, CampaignResult)
+            assert result.to_dict() == serial.to_dict()
+
+    def test_mixed_point_and_batch_tasks(self, tiny_quantized, tiny_eval, config):
+        """One batch per-slot shape: point tasks yield SeedPointResults,
+        batch tasks CampaignResults, in task order."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        tasks = [
+            TaskSpec(ber=BER, seed=1),
+            TaskSpec(ber=BER, seeds=SEEDS),
+            TaskSpec(ber=3e-5, seed=0),
+        ]
+        engine = CampaignEngine(workers=2)
+        point_a, batch, point_b = engine.evaluate_tasks(
+            qm, x, y, tasks, config=config
+        )
+        assert engine.last_stats.total_units == 2 + len(SEEDS)
+        reference = run_point(qm, x, y, BER, config=config)
+        assert batch.to_dict() == reference.to_dict()
+        assert point_a.accuracy == reference.per_seed[1]
+        serial_b = run_sweep(
+            qm, x, y, [3e-5],
+            config=CampaignConfig(seeds=(0,), batch_size=12, max_samples=24),
+        )[0]
+        assert point_b.accuracy == serial_b.per_seed[0]
+
+    def test_stats_count_subtask_units(self, tiny_quantized, tiny_eval, config):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        engine = CampaignEngine(workers=1)
+        engine.evaluate_tasks(
+            qm, x, y, [TaskSpec(ber=BER, seeds=SEEDS)], config=config
+        )
+        assert engine.last_stats.total_units == len(SEEDS)
+        assert engine.last_stats.computed_units == len(SEEDS)
+
+
+class TestSubtaskGranularResume:
+    def test_kill_mid_batch_then_resume_recomputes_only_missing(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """Kill a seed-batch evaluation after 2 of 4 seeds; the resumed
+        engine must serve those 2 from checkpoint, recompute exactly the
+        missing 2, and match the uninterrupted serial result."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        serial = run_point(qm, x, y, BER, config=config)
+
+        killed = CampaignEngine(
+            workers=1, checkpoint_path=ckpt, progress=StopAfter(2)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            killed.evaluate_tasks(
+                qm, x, y, [TaskSpec(ber=BER, seeds=SEEDS)], config=config
+            )
+        # The two finished subtasks are on disk as per-seed records.
+        lines = ckpt.read_text().splitlines()
+        assert json.loads(lines[0]) == {"version": 2}
+        finished = [json.loads(line) for line in lines[1:]]
+        assert sorted(row["seed"] for row in finished) == [0, 1]
+
+        resumed = CampaignEngine(workers=2, checkpoint_path=ckpt, resume=True)
+        (result,) = resumed.evaluate_tasks(
+            qm, x, y, [TaskSpec(ber=BER, seeds=SEEDS)], config=config
+        )
+        assert resumed.last_stats.cached_units == 2
+        assert resumed.last_stats.computed_units == len(SEEDS) - 2
+        assert result.to_dict() == serial.to_dict()
+
+    def test_kill_mid_sweep_resume_is_bit_identical(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """The same contract through run_sweep's seed-batch tasks, with
+        the kill landing inside the second BER's batch."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        bers = [3e-5, BER]
+        ckpt = tmp_path / "campaign.json"
+        serial = run_sweep(qm, x, y, bers, config=config)
+
+        kill_at = len(SEEDS) + 1  # first BER done, second BER 1/4 seeds in
+        killed = CampaignEngine(
+            workers=1, checkpoint_path=ckpt, progress=StopAfter(kill_at)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            killed.run_sweep(qm, x, y, bers, config=config)
+
+        resumed = CampaignEngine(workers=3, checkpoint_path=ckpt, resume=True)
+        results = resumed.run_sweep(qm, x, y, bers, config=config)
+        assert resumed.last_stats.cached_units == kill_at
+        assert resumed.last_stats.computed_units == 2 * len(SEEDS) - kill_at
+        assert as_dicts(results) == as_dicts(serial)
+
+    def test_batch_and_point_tasks_share_checkpoint_entries(
+        self, tiny_quantized, tiny_eval, config, tmp_path
+    ):
+        """A seed-batch task resumes from entries written by the
+        equivalent point tasks (identity lives at subtask granularity)."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ckpt = tmp_path / "campaign.json"
+        points = [TaskSpec(ber=BER, seed=s) for s in SEEDS]
+        CampaignEngine(workers=1, checkpoint_path=ckpt).evaluate_tasks(
+            qm, x, y, points, config=config
+        )
+        engine = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
+        (batch,) = engine.evaluate_tasks(
+            qm, x, y, [TaskSpec(ber=BER, seeds=SEEDS)], config=config
+        )
+        assert engine.last_stats.computed_units == 0
+        assert engine.last_stats.cached_units == len(SEEDS)
+        assert batch.to_dict() == run_point(qm, x, y, BER, config=config).to_dict()
