@@ -1,0 +1,33 @@
+"""Importable benchmark helpers (budget profile and network selection).
+
+Kept separate from ``benchmarks/conftest.py`` for the same reason as
+``tests/_helpers.py``: two ``conftest.py`` files exist in this repo, so a
+bare ``from conftest import ...`` resolves to whichever directory landed
+on ``sys.path`` first.  Benchmarks import these helpers unambiguously as
+``from benchmarks._helpers import ...``; the conftest defines fixtures
+only.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import ExperimentProfile
+
+#: Benchmark-sized budget: one seed, short sweep, small eval set.
+BENCH_PROFILE = ExperimentProfile(
+    name="bench",
+    eval_samples=60,
+    calib_samples=96,
+    seeds=(0,),
+    batch_size=60,
+    ber_grid=(3e-7, 1e-6, 3e-6, 1e-5, 3e-5),
+    train_epochs=8,
+)
+
+
+def bench_networks() -> tuple[str, ...]:
+    """Networks swept by the multi-network figures."""
+    if os.environ.get("REPRO_BENCH_ALL"):
+        return ("densenet169", "resnet50", "vgg19", "googlenet")
+    return ("vgg19", "googlenet")

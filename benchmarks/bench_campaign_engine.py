@@ -8,7 +8,10 @@ time-slice one CPU; bit-identity is asserted unconditionally):
   completes at least 2x faster than the serial path;
 * the TMR planner's task-batch workload (seed-sharded candidate
   evaluations + speculative lookahead) iterates at least 1.5x faster
-  than the serial planner, with identical planning results.
+  than the serial planner, with identical planning results;
+* the sample-sharding workload — a *single* (BER, seed) point under the
+  counter RNG scheme, split into sample slices — completes at least
+  1.5x faster with 4 workers than the unsharded run, bit-identically.
 
 Run standalone for a timing report::
 
@@ -29,7 +32,7 @@ import time
 import numpy as np
 
 from repro.datasets import DatasetSpec, make_dataset
-from repro.faultsim import CampaignConfig, run_sweep
+from repro.faultsim import CampaignConfig, FaultModelConfig, run_point, run_sweep
 from repro.nn import GraphBuilder, initialize
 from repro.quantized import QuantConfig, quantize_model
 from repro.runtime import CampaignEngine, resolve_workers
@@ -179,6 +182,45 @@ def run_planner_comparison(workers: int = 4) -> dict:
     }
 
 
+def run_sample_shard_comparison(workers: int = 4, shard: int = 24) -> dict:
+    """Time one (BER, seed) point: unsharded serial vs sample-sharded pool.
+
+    The single-point case is where seed sharding cannot help (one seed =
+    one subtask) and the dominant wall-clock case for ``plan_tmr`` on big
+    models.  Sample sharding under the counter RNG scheme splits the
+    point's evaluation batch into slices and must stay bit-identical to
+    the unsharded run while filling the pool.
+    """
+    qmodel, x, y, base = build_workload()
+    config = CampaignConfig(
+        seeds=(0,),
+        batch_size=base.batch_size,
+        max_samples=base.max_samples,
+        fault_config=FaultModelConfig(rng_scheme="counter"),
+    )
+    ber = BERS[2]
+
+    start = time.perf_counter()
+    serial = run_point(qmodel, x, y, ber, config=config)
+    serial_seconds = time.perf_counter() - start
+
+    engine = CampaignEngine(workers=workers, sample_shard=shard)
+    start = time.perf_counter()
+    sharded = engine.run_point(qmodel, x, y, ber, config=config)
+    engine_seconds = time.perf_counter() - start
+
+    return {
+        "units": engine.last_stats.total_units,
+        "shard": shard,
+        "workers": engine.workers,
+        "available_cores": resolve_workers(0),
+        "serial_seconds": serial_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": serial_seconds / engine_seconds if engine_seconds else float("inf"),
+        "bit_identical": sharded.to_dict() == serial.to_dict(),
+    }
+
+
 def format_report(stats: dict) -> str:
     return (
         f"campaign engine benchmark — {stats['units']} (BER, seed) units\n"
@@ -186,6 +228,19 @@ def format_report(stats: dict) -> str:
         f"  workers         : {stats['workers']}\n"
         f"  serial          : {stats['serial_seconds']:.2f} s\n"
         f"  engine          : {stats['engine_seconds']:.2f} s\n"
+        f"  speedup         : {stats['speedup']:.2f}x\n"
+        f"  bit-identical   : {stats['bit_identical']}"
+    )
+
+
+def format_sample_shard_report(stats: dict) -> str:
+    return (
+        f"sample-shard benchmark — 1 (BER, seed) point, "
+        f"{stats['units']} slices of {stats['shard']} samples\n"
+        f"  available cores : {stats['available_cores']}\n"
+        f"  workers         : {stats['workers']}\n"
+        f"  unsharded       : {stats['serial_seconds']:.2f} s\n"
+        f"  sharded         : {stats['engine_seconds']:.2f} s\n"
         f"  speedup         : {stats['speedup']:.2f}x\n"
         f"  bit-identical   : {stats['bit_identical']}"
     )
@@ -242,6 +297,26 @@ def test_speculative_planner_speedup():
     )
 
 
+def test_sample_shard_speedup():
+    """>= 1.5x on a single (BER, seed) point with 4 workers and >= 4
+    cores; always bit-identical to the unsharded counter-scheme run."""
+    import pytest
+
+    stats = run_sample_shard_comparison(workers=4)
+    print()
+    print(format_sample_shard_report(stats))
+    assert stats["bit_identical"], "sample-sharded results diverged from serial"
+    assert stats["units"] > 1, "shard did not split the point; tune the workload"
+    if stats["available_cores"] < 4:
+        pytest.skip(
+            f"speedup needs >= 4 cores, machine has {stats['available_cores']}"
+        )
+    assert stats["speedup"] >= 1.5, (
+        f"expected >= 1.5x single-point speedup with 4 workers, "
+        f"got {stats['speedup']:.2f}x"
+    )
+
+
 if __name__ == "__main__":
     np.random.seed(0)
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -255,6 +330,7 @@ if __name__ == "__main__":
     sweep = run_comparison(workers=args.workers)
     tasks = run_task_batch_comparison(workers=args.workers)
     planner = run_planner_comparison(workers=args.workers)
+    sample_shard = run_sample_shard_comparison(workers=args.workers)
     print(format_report(sweep))
     print(
         f"task-batch benchmark — {tasks['units']} protected tasks "
@@ -265,10 +341,16 @@ if __name__ == "__main__":
         f"  bit-identical   : {tasks['bit_identical']}"
     )
     print(format_planner_report(planner))
+    print(format_sample_shard_report(sample_shard))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
-                {"sweep": sweep, "task_batch": tasks, "planner": planner},
+                {
+                    "sweep": sweep,
+                    "task_batch": tasks,
+                    "planner": planner,
+                    "sample_shard": sample_shard,
+                },
                 handle, indent=2, sort_keys=True,
             )
             handle.write("\n")

@@ -5,7 +5,7 @@ the improvement peaking mid-cliff (paper reports up to +35 points); int16
 models degrade at lower BER than int8.
 """
 
-from benchmarks.conftest import bench_networks
+from benchmarks._helpers import bench_networks
 from repro.experiments import fig2
 
 

@@ -6,7 +6,7 @@ Winograd's only-multiplication-fault accuracy matches standard conv's
 despite executing 2.25x fewer multiplications.
 """
 
-from benchmarks.conftest import bench_networks
+from benchmarks._helpers import bench_networks
 from repro.experiments import fig4
 
 

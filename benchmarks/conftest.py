@@ -5,33 +5,18 @@ numbered tables; Figs. 1-7 are its entire evaluation).  Budgets are kept
 small so the whole suite completes in minutes; set ``REPRO_BENCH_ALL=1`` to
 sweep all four networks in Figs. 2 and 4, and ``REPRO_RESULTS`` to relocate
 the cache.  Results (JSON + text report) land under ``results/``.
+
+Fixture-only by design — the budget profile and network selection are
+importable from :mod:`benchmarks._helpers` (a bare ``from conftest
+import ...`` is ambiguous against ``tests/conftest.py``).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._helpers import BENCH_PROFILE
 from repro.experiments.common import ExperimentProfile
-
-#: Benchmark-sized budget: one seed, short sweep, small eval set.
-BENCH_PROFILE = ExperimentProfile(
-    name="bench",
-    eval_samples=60,
-    calib_samples=96,
-    seeds=(0,),
-    batch_size=60,
-    ber_grid=(3e-7, 1e-6, 3e-6, 1e-5, 3e-5),
-    train_epochs=8,
-)
-
-
-def bench_networks() -> tuple[str, ...]:
-    """Networks swept by the multi-network figures."""
-    if os.environ.get("REPRO_BENCH_ALL"):
-        return ("densenet169", "resnet50", "vgg19", "googlenet")
-    return ("vgg19", "googlenet")
 
 
 @pytest.fixture(scope="session")

@@ -20,11 +20,19 @@ several candidate protection plans per iteration concurrently and keeps
 the first (in the paper's deterministic growth order) that meets the
 accuracy goal — results identical to the serial heuristic, wall-clock
 much lower on multi-core machines (see ``docs/RUNTIME.md``).
+
+``--shard-samples N`` additionally splits every (BER, seed) evaluation
+into N-sample slices, filling the pool even when a figure evaluates a
+single point at a time.  Sample sharding needs partition-invariant fault
+draws, so it switches the campaigns to the counter RNG scheme
+(``--rng-scheme counter``) — a different, equally valid Monte-Carlo draw
+than the default stream scheme, cached and checkpointed separately.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7
@@ -91,14 +99,45 @@ def main(argv: list[str] | None = None) -> int:
         "iteration concurrently (result-identical to the paper's serial "
         "heuristic; pairs with --workers)",
     )
+    parser.add_argument(
+        "--shard-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split every (BER, seed) evaluation into N-sample slices so "
+        "a single point fills the worker pool; implies --rng-scheme "
+        "counter (pairs with --workers)",
+    )
+    parser.add_argument(
+        "--rng-scheme",
+        choices=("stream", "counter"),
+        default=None,
+        help="injector RNG scheme: 'stream' (legacy sequential draws, "
+        "default) or 'counter' (site-keyed partition-invariant draws, "
+        "required by --shard-samples)",
+    )
     args = parser.parse_args(argv)
 
+    if args.shard_samples is not None and args.shard_samples < 1:
+        parser.error("--shard-samples must be >= 1")
+    scheme = args.rng_scheme
+    if args.shard_samples is not None:
+        if scheme == "stream":
+            parser.error(
+                "--shard-samples requires the counter RNG scheme; drop "
+                "--rng-scheme stream"
+            )
+        scheme = "counter"
+
     profile = FULL if args.profile == "full" else QUICK
+    if scheme is not None:
+        profile = dataclasses.replace(profile, rng_scheme=scheme)
     engine = make_engine(
         workers=args.workers,
         resume=args.resume,
         checkpoint=args.checkpoint,
         progress=stream_reporter() if args.progress else None,
+        sample_shard=args.shard_samples,
     )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:

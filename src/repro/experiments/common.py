@@ -26,7 +26,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.datasets import SyntheticDataset, make_dataset
-from repro.faultsim import CampaignConfig, CampaignResult, run_sweep
+from repro.faultsim import (
+    CampaignConfig,
+    CampaignResult,
+    FaultModelConfig,
+    RNG_STREAM,
+    run_sweep,
+)
 from repro.runtime import CampaignEngine
 from repro.models import BENCHMARKS, build_benchmark_model
 from repro.nn import Adam, TrainConfig, evaluate_accuracy, initialize, train
@@ -57,15 +63,23 @@ def make_engine(
     resume: bool = False,
     checkpoint: str | Path | None = None,
     progress=None,
+    sample_shard: int | None = None,
 ) -> CampaignEngine:
     """Campaign engine with the default checkpoint under ``results_dir()``.
 
     The shared checkpoint file is safe across figures and models: points
-    are keyed by a content hash of (model, campaign, BER, seed).
+    are keyed by a content hash of (model, campaign, BER, seed[, sample
+    slice]).  ``sample_shard`` splits every (BER, seed) subtask into
+    sample slices (requires a counter-scheme profile; see the CLI's
+    ``--shard-samples``).
     """
     path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
     return CampaignEngine(
-        workers=workers, checkpoint_path=path, resume=resume, progress=progress
+        workers=workers,
+        checkpoint_path=path,
+        resume=resume,
+        progress=progress,
+        sample_shard=sample_shard,
     )
 
 
@@ -81,6 +95,11 @@ class ExperimentProfile:
     #: BER sweep for Fig. 2-style curves (0 is always prepended).
     ber_grid: tuple[float, ...] = (1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5)
     train_epochs: int = 8
+    #: Injector RNG scheme ("stream" or "counter"); the CLI switches to
+    #: "counter" when sample sharding is requested.  The two schemes are
+    #: different (equally valid) Monte-Carlo draws, so curves and
+    #: checkpoints are cached per scheme.
+    rng_scheme: str = RNG_STREAM
 
     def campaign(self, injector: str = "operation") -> CampaignConfig:
         """Campaign configuration matching this profile."""
@@ -89,6 +108,7 @@ class ExperimentProfile:
             batch_size=self.batch_size,
             injector=injector,
             max_samples=self.eval_samples,
+            fault_config=FaultModelConfig(rng_scheme=self.rng_scheme),
         )
 
 
@@ -222,6 +242,9 @@ def _curve_cache_key(qmodel: QuantizedModel, bers, config: CampaignConfig) -> st
             "semantics": config.fault_config.semantics.value,
             "convention": config.fault_config.convention.value,
             "amplify": config.fault_config.amplify_input_transform_adds,
+            # Empty at the stream default (historical cache keys stay
+            # valid); counter-scheme curves cache separately.
+            **config.fault_config.rng_identity(),
         },
         sort_keys=True,
     )

@@ -1,6 +1,12 @@
 """Fault-injection platform: operation-level and neuron-level injectors."""
 
-from repro.faultsim.model import BerConvention, FaultModelConfig, FaultSemantics
+from repro.faultsim.model import (
+    BerConvention,
+    FaultModelConfig,
+    FaultSemantics,
+    RNG_COUNTER,
+    RNG_STREAM,
+)
 from repro.faultsim.protection import ProtectionPlan
 from repro.faultsim.sites import (
     category_exposure_bits,
@@ -20,9 +26,12 @@ from repro.faultsim.campaign import (
     CampaignResult,
     INJECTOR_NEURON,
     INJECTOR_OPERATION,
+    SampleSliceResult,
     SeedPointResult,
     campaign_lambda,
     combine_seed_results,
+    combine_slice_results,
+    evaluate_sample_slice,
     evaluate_seed_point,
     run_point,
     run_sweep,
@@ -32,6 +41,8 @@ __all__ = [
     "FaultModelConfig",
     "FaultSemantics",
     "BerConvention",
+    "RNG_STREAM",
+    "RNG_COUNTER",
     "ProtectionPlan",
     "category_exposure_bits",
     "layer_exposure",
@@ -47,11 +58,14 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "SeedPointResult",
+    "SampleSliceResult",
     "INJECTOR_OPERATION",
     "INJECTOR_NEURON",
     "campaign_lambda",
     "combine_seed_results",
+    "combine_slice_results",
     "evaluate_seed_point",
+    "evaluate_sample_slice",
     "run_point",
     "run_sweep",
 ]

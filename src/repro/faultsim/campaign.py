@@ -13,6 +13,14 @@ campaign engine (:mod:`repro.runtime`) wraps it in a
 :class:`~repro.runtime.TaskSpec`, shards task batches across a worker pool
 and recombines them with :func:`combine_seed_results`, bit-identical to
 the serial loop in :func:`run_point`.
+
+Under the counter RNG scheme (``FaultModelConfig.rng_scheme ==
+"counter"``) the unit splits further: :func:`evaluate_sample_slice` scores
+one contiguous slice of the evaluation samples, and
+:func:`combine_slice_results` folds a full partition of slices back into
+the exact :class:`SeedPointResult` the unsliced evaluation produces —
+bit-identical for *any* slice size, because every fault draw is keyed by
+(seed, layer, site, sample chunk) rather than by stream position.
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.faultsim.model import FaultModelConfig
+from repro.errors import ConfigurationError
+from repro.faultsim.model import FaultModelConfig, RNG_COUNTER
 from repro.faultsim.neuron_level import NeuronLevelInjector
 from repro.faultsim.operation_level import OperationLevelInjector
 from repro.faultsim.protection import ProtectionPlan
@@ -32,9 +41,12 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "SeedPointResult",
+    "SampleSliceResult",
     "campaign_lambda",
     "combine_seed_results",
+    "combine_slice_results",
     "evaluate_seed_point",
+    "evaluate_sample_slice",
     "run_point",
     "run_sweep",
 ]
@@ -107,12 +119,71 @@ class SeedPointResult:
         )
 
 
-def _make_injector(config: CampaignConfig, ber: float, seed: int, protection):
+@dataclass(frozen=True)
+class SampleSliceResult:
+    """Outcome of one (BER, seed) evaluation over a sample slice.
+
+    The sub-seed campaign unit: ``[start, stop)`` indexes the
+    (``max_samples``-trimmed) evaluation set, and correct/total counts —
+    not a ratio — are carried so a partition of slices recombines into the
+    *exact* accuracy of the unsliced evaluation
+    (:func:`combine_slice_results`).  Only meaningful under the counter
+    RNG scheme (or at BER 0), where fault draws are partition-invariant.
+    """
+
+    ber: float
+    seed: int
+    start: int
+    stop: int
+    correct: int
+    total: int
+    events: int
+
+    @property
+    def accuracy(self) -> float:
+        """Slice-local accuracy (progress reporting; reduction uses counts)."""
+        return float(self.correct) / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint record)."""
+        return {
+            "ber": self.ber,
+            "seed": self.seed,
+            "start": self.start,
+            "stop": self.stop,
+            "correct": self.correct,
+            "total": self.total,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "SampleSliceResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ber=float(row["ber"]),
+            seed=int(row["seed"]),
+            start=int(row["start"]),
+            stop=int(row["stop"]),
+            correct=int(row["correct"]),
+            total=int(row["total"]),
+            events=int(row["events"]),
+        )
+
+
+def _make_injector(
+    config: CampaignConfig, ber: float, seed: int, protection, sample_base: int = 0
+):
     if config.injector == INJECTOR_NEURON:
-        return NeuronLevelInjector(ber, seed=seed, config=config.fault_config)
+        return NeuronLevelInjector(
+            ber, seed=seed, config=config.fault_config, sample_base=sample_base
+        )
     if config.injector == INJECTOR_OPERATION:
         return OperationLevelInjector(
-            ber, seed=seed, config=config.fault_config, protection=protection
+            ber,
+            seed=seed,
+            config=config.fault_config,
+            protection=protection,
+            sample_base=sample_base,
         )
     raise ValueError(f"unknown injector kind '{config.injector}'")
 
@@ -147,6 +218,109 @@ def evaluate_seed_point(
         seed=seed,
         accuracy=float(accuracy),
         events=int(sum(injector.event_counts.values())),
+    )
+
+
+def evaluate_sample_slice(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    seed: int,
+    sample_slice: tuple[int, int],
+    config: CampaignConfig | None = None,
+    protection: ProtectionPlan | None = None,
+) -> SampleSliceResult:
+    """Evaluate one (BER, seed) pair over one slice of the sample set.
+
+    ``sample_slice`` is a ``[start, stop)`` window into the
+    (``max_samples``-trimmed) evaluation set.  Pure like
+    :func:`evaluate_seed_point`, and additionally *partition-invariant*:
+    under the counter RNG scheme, the faults a sample receives depend only
+    on its dataset-global index, never on which slice or batch carries it,
+    so any disjoint cover of ``[0, N)`` recombines
+    (:func:`combine_slice_results`) into exactly the unsliced result.
+
+    Raises :class:`~repro.errors.ConfigurationError` when ``ber > 0`` under
+    the legacy stream scheme, whose draws are not partition-invariant.
+    """
+    config = config or CampaignConfig()
+    if config.max_samples is not None:
+        x, labels = x[: config.max_samples], labels[: config.max_samples]
+    start, stop = int(sample_slice[0]), int(sample_slice[1])
+    if not 0 <= start < stop <= len(x):
+        raise ConfigurationError(
+            f"sample slice [{start}, {stop}) out of range for {len(x)} samples"
+        )
+    xs, ys = x[start:stop], labels[start:stop]
+    if ber == 0.0:
+        preds = qmodel.predict(xs, batch_size=config.batch_size)
+        return SampleSliceResult(
+            ber=ber, seed=seed, start=start, stop=stop,
+            correct=int((preds == ys).sum()), total=stop - start, events=0,
+        )
+    if config.fault_config.rng_scheme != RNG_COUNTER:
+        raise ConfigurationError(
+            "sample-slice evaluation requires the partition-invariant "
+            "counter RNG scheme; set FaultModelConfig(rng_scheme='counter') "
+            f"(got '{config.fault_config.rng_scheme}')"
+        )
+    injector = _make_injector(config, ber, seed, protection, sample_base=start)
+    preds = qmodel.predict(xs, injector=injector, batch_size=config.batch_size)
+    return SampleSliceResult(
+        ber=ber,
+        seed=seed,
+        start=start,
+        stop=stop,
+        correct=int((preds == ys).sum()),
+        total=stop - start,
+        events=int(sum(injector.event_counts.values())),
+    )
+
+
+def combine_slice_results(
+    slices: list[SampleSliceResult],
+    expected_total: int | None = None,
+) -> SeedPointResult:
+    """Fold a full partition of sample slices into one :class:`SeedPointResult`.
+
+    ``slices`` must cover ``[0, N)`` contiguously (any order); all slices
+    must belong to the same (BER, seed) point.  Pass ``expected_total``
+    (the engine passes its sample count) to also reject a cover that
+    stops short of the set's end — without it a truncated-but-contiguous
+    cover is indistinguishable from a complete one.  The accuracy is
+    computed as ``total correct / total samples`` — the same
+    integer-valued float division ``QuantizedModel.evaluate`` performs —
+    so the reduction is bit-identical to the unsliced evaluation.
+    """
+    if not slices:
+        raise ConfigurationError("combine_slice_results needs at least one slice")
+    ordered = sorted(slices, key=lambda s: s.start)
+    first = ordered[0]
+    cursor = 0
+    for part in ordered:
+        if (part.ber, part.seed) != (first.ber, first.seed):
+            raise ConfigurationError(
+                "slices mix (BER, seed) points: "
+                f"({part.ber}, {part.seed}) vs ({first.ber}, {first.seed})"
+            )
+        if part.start != cursor:
+            raise ConfigurationError(
+                f"slice cover has a gap/overlap at sample {cursor} "
+                f"(next slice starts at {part.start})"
+            )
+        cursor = part.stop
+    if expected_total is not None and cursor != expected_total:
+        raise ConfigurationError(
+            f"slice cover stops at sample {cursor}, expected {expected_total}"
+        )
+    total = sum(part.total for part in ordered)
+    correct = sum(part.correct for part in ordered)
+    return SeedPointResult(
+        ber=first.ber,
+        seed=first.seed,
+        accuracy=float(correct) / total if total else 0.0,
+        events=int(sum(part.events for part in ordered)),
     )
 
 

@@ -33,6 +33,21 @@ per-operation probability (``lambda = ber * n``).  The paper's phrasing
 ("probability of a bit flip in an operation") is compatible with either;
 PER_BIT additionally explains why int16 models degrade earlier than int8
 ones at the same BER (twice the exposed bits), which Fig. 2 reports.
+
+RNG schemes
+-----------
+``RNG_STREAM`` (default, legacy): both injectors pull every draw from one
+sequential PCG64 stream, so a result depends on the *order* in which
+sites are visited — the scheme the frozen PR 2/3 parity references were
+recorded under.  ``RNG_COUNTER``: every draw is a pure function of
+``(campaign seed, layer, site, sample chunk)`` via keyed Philox streams
+(:func:`repro.utils.rng.site_rng`); event counts and coordinates are
+sampled per fixed-size chunk of ``chunk_samples`` evaluation samples, so
+any partition of the sample set — slice sizes, batch sizes, worker
+counts — reproduces bit-identical faults.  The two schemes realize the
+same statistical fault model (identical per-category lambda), but their
+Monte-Carlo draws differ, so a campaign's scheme is part of its identity
+(checkpoint keys and result caches never mix schemes).
 """
 
 from __future__ import annotations
@@ -42,7 +57,18 @@ from enum import Enum
 
 from repro.errors import FaultModelError
 
-__all__ = ["FaultSemantics", "BerConvention", "FaultModelConfig"]
+__all__ = [
+    "FaultSemantics",
+    "BerConvention",
+    "FaultModelConfig",
+    "RNG_STREAM",
+    "RNG_COUNTER",
+]
+
+#: Legacy sequential-stream sampling (order-dependent draws).
+RNG_STREAM = "stream"
+#: Counter-based, site-keyed sampling (partition-invariant draws).
+RNG_COUNTER = "counter"
 
 
 class FaultSemantics(Enum):
@@ -73,7 +99,20 @@ class FaultModelConfig:
         Safety cap on sampled events per (layer, category, batch); BERs past
         the accuracy cliff can request millions of events whose effect
         saturates long before that.  The cap is high enough not to bias any
-        reported operating point (campaigns warn when it binds).
+        reported operating point (campaigns warn when it binds).  Under the
+        counter scheme the cap applies per (layer, site, chunk) — the unit
+        a Poisson count is drawn for — which keeps capping itself
+        partition-invariant.
+    rng_scheme:
+        ``RNG_STREAM`` (default) or ``RNG_COUNTER``; see the module docs.
+        Only the counter scheme supports sample-level sharding
+        (:func:`repro.faultsim.campaign.evaluate_sample_slice`).
+    chunk_samples:
+        Counter-scheme sampling granularity: Poisson event counts and
+        fault coordinates are drawn per chunk of this many consecutive
+        evaluation samples.  Part of a counter campaign's identity (a
+        different chunking is a different Monte-Carlo draw); irrelevant
+        under the stream scheme.
     """
 
     semantics: FaultSemantics = FaultSemantics.PAPER
@@ -87,10 +126,34 @@ class FaultModelConfig:
     #: variant is an ablation (``benchmarks/bench_ablation_semantics.py``)
     #: showing how strongly the Winograd advantage depends on this choice.
     amplify_input_transform_adds: bool = False
+    rng_scheme: str = RNG_STREAM
+    chunk_samples: int = 8
 
     def __post_init__(self) -> None:
         if self.max_events_per_category < 1:
             raise FaultModelError("max_events_per_category must be >= 1")
+        if self.rng_scheme not in (RNG_STREAM, RNG_COUNTER):
+            raise FaultModelError(
+                f"rng_scheme must be '{RNG_STREAM}' or '{RNG_COUNTER}', "
+                f"got {self.rng_scheme!r}"
+            )
+        if self.chunk_samples < 1:
+            raise FaultModelError("chunk_samples must be >= 1")
+
+    def rng_identity(self) -> dict:
+        """RNG-scheme fields that belong in a campaign's content identity.
+
+        Empty at the stream default — the scheme fields postdate the
+        stream-era checkpoint keys and curve caches, so omitting them
+        keeps every historical key valid; any other scheme contributes
+        both the scheme and its chunking (a different chunking is a
+        different Monte-Carlo draw).  The single source of truth for
+        checkpoint hashing (:func:`repro.runtime.hashing.campaign_fingerprint`)
+        and the figure curve cache.
+        """
+        if self.rng_scheme == RNG_STREAM:
+            return {}
+        return {"rng_scheme": self.rng_scheme, "chunk_samples": self.chunk_samples}
 
     def exposure_bits(self, is_mul: bool, data_width: int, acc_width: int) -> int:
         """Bits of state exposed per operation for lambda computation.

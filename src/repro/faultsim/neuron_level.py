@@ -5,6 +5,12 @@ operation results.  Because standard and Winograd convolution compute
 identical activations, this injector cannot distinguish the two execution
 modes — the point the paper makes with Fig. 1, and the reason it builds the
 operation-level platform.
+
+Like the operation-level injector, it supports both RNG schemes: the
+legacy sequential ``"stream"`` draws, and the ``"counter"`` scheme whose
+draws are keyed per (seed, layer, chunk of samples) and therefore
+invariant under any partition of the sample axis (see
+:mod:`repro.faultsim.sampling`).
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from collections import defaultdict
 import numpy as np
 
 from repro.fixedpoint.bits import flip_bit
-from repro.faultsim.model import BerConvention, FaultModelConfig
+from repro.faultsim.model import BerConvention, FaultModelConfig, RNG_COUNTER
+from repro.faultsim.sampling import CounterSampler
 from repro.quantized.interface import Injector
 from repro.utils.rng import as_rng
 
@@ -27,6 +34,10 @@ class NeuronLevelInjector(Injector):
     ``lambda = ber * n_neurons * width`` under the per-bit convention
     (``ber * n_neurons`` per-op), mirroring how neuron-level platforms
     parameterize their injections.
+
+    ``sample_base`` (counter scheme only) anchors the injector's first
+    evaluation sample on the global sample axis, so a sample slice injects
+    exactly the faults the full-set run would inject into those samples.
     """
 
     def __init__(
@@ -34,17 +45,47 @@ class NeuronLevelInjector(Injector):
         ber: float,
         seed: int | np.random.Generator = 0,
         config: FaultModelConfig | None = None,
+        sample_base: int = 0,
     ):
         if ber < 0:
             raise ValueError(f"ber must be non-negative, got {ber}")
         self.ber = float(ber)
-        self.rng = as_rng(seed)
         self.config = config or FaultModelConfig()
+        if self.config.rng_scheme == RNG_COUNTER:
+            self._sampler: CounterSampler | None = CounterSampler(
+                seed, self.ber, self.config, sample_base=sample_base
+            )
+            self.rng = None
+        else:
+            self._sampler = None
+            self.rng = as_rng(seed)
         self.event_counts: dict[str, int] = defaultdict(int)
+
+    def begin_inference(self, batch_size: int) -> None:
+        """Track the forward batch's position on the global sample axis."""
+        if self._sampler is not None:
+            self._sampler.begin_batch(batch_size)
 
     def visit_output(self, layer, y_int: np.ndarray) -> np.ndarray:
         width = layer.out_fmt.width
         exposure = 1 if self.config.convention is BerConvention.PER_OP else width
+        n = y_int.shape[0]
+        per_sample = y_int.size // n if n else 0
+
+        if self._sampler is not None:
+            events = self._sampler.site_events(
+                layer.name, "neuron", n, per_sample, exposure, 1.0, (per_sample,)
+            )
+            if events is None:
+                return y_int
+            self.event_counts["neuron"] += len(events)
+            rows = y_int.reshape(n, -1)
+            img = events.img
+            (idx,) = events.coords
+            bits = events.bits(width)
+            rows[img, idx] = flip_bit(rows[img, idx], bits, width)
+            return y_int
+
         lam = self.ber * y_int.size * exposure
         count = int(self.rng.poisson(lam))
         if count == 0:

@@ -26,6 +26,21 @@ sum registers are sized to their stage's dynamic range, capped at
 input-transform addition faults perturb the additive chain locally — the
 fully physical weight-amplified fan-out propagation is available as the
 ``amplify_input_transform_adds`` ablation.
+
+RNG schemes
+-----------
+Fault sites are sampled under one of two schemes
+(``FaultModelConfig.rng_scheme``):
+
+* ``"stream"`` (legacy): all draws come from one sequential PCG64 stream in
+  visit order, and sum-register widths are sized to the *batch* dynamic
+  range — the scheme the frozen parity references were recorded under.
+* ``"counter"``: draws are pure functions of ``(campaign seed, layer, site,
+  sample chunk)`` via :class:`repro.faultsim.sampling.CounterSampler`, and
+  sum-register widths are sized per *sample*.  Results are then invariant
+  under any partition of the sample axis (slice sizes, batch sizes, worker
+  counts), which is what enables sample-level sharding
+  (:func:`repro.faultsim.campaign.evaluate_sample_slice`).
 """
 
 from __future__ import annotations
@@ -34,9 +49,15 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.fixedpoint.bits import flip_delta  # noqa: F401  (re-exported via register_flip_delta)
-from repro.faultsim.model import BerConvention, FaultModelConfig, FaultSemantics
+from repro.fixedpoint.bits import flip_delta, flip_delta_var  # noqa: F401  (flip_delta re-exported via register_flip_delta)
+from repro.faultsim.model import (
+    BerConvention,
+    FaultModelConfig,
+    FaultSemantics,
+    RNG_COUNTER,
+)
 from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.sampling import CounterSampler, StreamEvents, bit_lengths
 from repro.quantized.interface import Injector
 from repro.utils.rng import as_rng
 
@@ -91,12 +112,18 @@ class OperationLevelInjector(Injector):
         Bit error rate (interpretation set by ``config.convention``).
     seed:
         RNG seed or generator; a single injector instance is deterministic
-        given its seed and the visit sequence.
+        given its seed and the visit sequence.  The counter scheme requires
+        an integer seed (streams are keyed by it).
     config:
-        Fault-model parameters.
+        Fault-model parameters, including the RNG scheme.
     protection:
         Optional :class:`ProtectionPlan`; protected fractions thin the
         event rate of their (layer, category).
+    sample_base:
+        Global index of the first evaluation sample this injector will see
+        (counter scheme only).  Sample-slice evaluation passes the slice
+        start so every sample keeps its dataset-global identity; the
+        default 0 covers whole-set evaluation.
     """
 
     def __init__(
@@ -105,28 +132,37 @@ class OperationLevelInjector(Injector):
         seed: int | np.random.Generator = 0,
         config: FaultModelConfig | None = None,
         protection: ProtectionPlan | None = None,
+        sample_base: int = 0,
     ):
         if ber < 0:
             raise ValueError(f"ber must be non-negative, got {ber}")
         self.ber = float(ber)
-        self.rng = as_rng(seed)
         self.config = config or FaultModelConfig()
         self.protection = protection
+        if self.config.rng_scheme == RNG_COUNTER:
+            self._sampler: CounterSampler | None = CounterSampler(
+                seed, self.ber, self.config, sample_base=sample_base
+            )
+            self.rng = None
+        else:
+            self._sampler = None
+            self.rng = as_rng(seed)
         #: Events actually injected, keyed by category (diagnostics).
         self.event_counts: dict[str, int] = defaultdict(int)
         #: True when the per-category event cap ever bound.
         self.capped = False
+
+    def begin_inference(self, batch_size: int) -> None:
+        """Track the forward batch's position on the global sample axis."""
+        if self._sampler is not None:
+            self._sampler.begin_batch(batch_size)
 
     # ------------------------------------------------------------------ sampling
     def _num_events(self, layer_name: str, category: str, n_ops: int, bits: int) -> int:
         """Draw the Poisson event count for a category, with thinning and cap."""
         if self.ber == 0.0 or n_ops <= 0:
             return 0
-        rho = (
-            self.protection.fraction(layer_name, category)
-            if self.protection is not None
-            else 0.0
-        )
+        rho = self._protected_fraction(layer_name, category)
         if rho >= 1.0:
             return 0
         exposure = 1 if self.config.convention is BerConvention.PER_OP else bits
@@ -138,6 +174,80 @@ class OperationLevelInjector(Injector):
         if count:
             self.event_counts[category] += count
         return count
+
+    def _protected_fraction(self, layer_name: str, category: str) -> float:
+        return (
+            self.protection.fraction(layer_name, category)
+            if self.protection is not None
+            else 0.0
+        )
+
+    def _site_events(
+        self,
+        layer_name: str,
+        category: str,
+        site: str,
+        n_batch: int,
+        ops_per_sample: int,
+        exposure_bits: int,
+        highs: tuple[int, ...],
+        with_signs: bool = False,
+    ):
+        """Sample one site's events for the current batch, either scheme.
+
+        ``category`` is the diagnostics/protection bucket; ``site``
+        uniquely names this draw sequence within the layer (categories
+        visited more than once per forward — Winograd passes and
+        sub-convolutions — carry distinguishing suffixes so their keyed
+        streams never collide).
+        """
+        if self._sampler is None:
+            count = self._num_events(
+                layer_name, category, ops_per_sample * n_batch, exposure_bits
+            )
+            if count == 0:
+                return None
+            rng = self.rng
+            img = rng.integers(0, n_batch, size=count)
+            coords = [rng.integers(0, high, size=count) for high in highs]
+            return StreamEvents(rng, img, coords)
+        events = self._sampler.site_events(
+            layer_name,
+            site,
+            n_batch,
+            ops_per_sample,
+            exposure_bits,
+            1.0 - self._protected_fraction(layer_name, category),
+            highs,
+            with_signs=with_signs,
+        )
+        if events is not None:
+            self.event_counts[category] += len(events)
+        self.capped = self.capped or self._sampler.capped
+        return events
+
+    def _stage_widths(self, ref: np.ndarray, acc_width: int, events):
+        """Sum-register width(s) for ``events``, sized to ``ref``'s range.
+
+        Stream scheme: one batch-wide scalar width (legacy semantics).
+        Counter scheme: each event's register is sized to its *own
+        sample's* maximum, so a fault's delta never depends on which other
+        samples share the batch (partition invariance).
+        """
+        if self._sampler is None:
+            return _stage_register_width(int(np.abs(ref).max(initial=1)), acc_width)
+        axes = tuple(range(1, ref.ndim))
+        per_sample = np.abs(ref).max(axis=axes, initial=1)
+        widths = np.clip(bit_lengths(per_sample) + 1, 2, acc_width)
+        return widths[events.img]
+
+    @staticmethod
+    def _register_deltas(values, widths, events):
+        """Flip-bit deltas for ``events`` with scalar or per-event widths."""
+        bits = events.bits(widths)
+        if np.ndim(widths) == 0:
+            return register_flip_delta(values, bits, int(widths), 0)
+        return flip_delta_var(values, bits, widths)
 
     def _mul_exposure_bits(self, layer) -> int:
         return self.config.exposure_bits(True, layer.in_fmt.width, layer.acc_width)
@@ -164,7 +274,9 @@ class OperationLevelInjector(Injector):
         self._inject_gemm_muls(
             layer, "st_mul", cols, weight2d, acc_flat, n, k_out, spatial, reduction
         )
-        self._inject_result_adds(layer, "st_add", layer.op_counts.st_add * n, acc_flat)
+        self._inject_result_adds(
+            layer, "st_add", "st_add", layer.op_counts.st_add, acc_flat
+        )
 
     def visit_linear(self, layer, x_int, acc):
         n, k_out = acc.shape
@@ -174,20 +286,27 @@ class OperationLevelInjector(Injector):
         self._inject_gemm_muls(
             layer, "st_mul", cols, weight2d, acc_flat, n, k_out, 1, weight2d.shape[1]
         )
-        self._inject_result_adds(layer, "st_add", layer.op_counts.st_add * n, acc_flat)
+        self._inject_result_adds(
+            layer, "st_add", "st_add", layer.op_counts.st_add, acc_flat
+        )
 
     def _inject_gemm_muls(
         self, layer, category, cols, weight2d, acc_flat, n, k_out, spatial, reduction
     ):
         """Multiplication faults in a GEMM: product-result register flips."""
-        n_ops = n * k_out * spatial * reduction
-        count = self._num_events(layer.name, category, n_ops, self._mul_exposure_bits(layer))
-        if count == 0:
+        events = self._site_events(
+            layer.name,
+            category,
+            category,
+            n,
+            k_out * spatial * reduction,
+            self._mul_exposure_bits(layer),
+            (k_out * spatial, reduction),
+        )
+        if events is None:
             return
-        rng = self.rng
-        img = rng.integers(0, n, size=count)
-        out_idx = rng.integers(0, k_out * spatial, size=count)
-        red = rng.integers(0, reduction, size=count)
+        img = events.img
+        out_idx, red = events.coords
         pq = out_idx % spatial
         kk = out_idx // spatial
 
@@ -195,26 +314,29 @@ class OperationLevelInjector(Injector):
         w_vals = weight2d[kk, red]
         products = x_vals * w_vals
         width = self._mul_register_width(layer)
-        bits = rng.integers(0, width, size=count)
-        deltas = register_flip_delta(products, bits, width, 0)
+        deltas = self._register_deltas(products, width, events)
         np.add.at(acc_flat, (img, out_idx), deltas)
 
-    def _inject_result_adds(self, layer, category, n_ops, acc_flat):
+    def _inject_result_adds(self, layer, category, site, ops_per_sample, acc_flat):
         """Addition faults: flips of sum registers, applied to final outputs."""
-        count = self._num_events(layer.name, category, n_ops, self._add_exposure_bits(layer))
-        if count == 0:
-            return
-        rng = self.rng
         n, flat = acc_flat.shape
-        img = rng.integers(0, n, size=count)
-        idx = rng.integers(0, flat, size=count)
-        width = _stage_register_width(
-            int(np.abs(acc_flat).max(initial=1)), layer.acc_width
+        events = self._site_events(
+            layer.name,
+            category,
+            site,
+            n,
+            ops_per_sample,
+            self._add_exposure_bits(layer),
+            (flat,),
         )
-        bits = rng.integers(0, width, size=count)
+        if events is None:
+            return
+        img = events.img
+        (idx,) = events.coords
+        widths = self._stage_widths(acc_flat, layer.acc_width, events)
         # Sign from the final accumulator value's bit: exact for the last
         # addition of the chain, an unbiased approximation for earlier ones.
-        deltas = register_flip_delta(acc_flat[img, idx], bits, width, 0)
+        deltas = self._register_deltas(acc_flat[img, idx], widths, events)
         np.add.at(acc_flat, (img, idx), deltas)
 
     # ------------------------------------------------------------- winograd conv
@@ -225,65 +347,79 @@ class OperationLevelInjector(Injector):
         bt = tf.bt_int.astype(np.int64)  # (t, t)
         m = tf.m
 
-        for spec, ctx in sub_contexts:
+        for sub_index, (spec, ctx) in enumerate(sub_contexts):
             u, v, m_arr = ctx.u_int, ctx.v_int, ctx.m_int
             grid = ctx.grid
             tiles = grid.num_tiles
             c_in = u.shape[1]
             t = tf.t
-            y_max = int(np.abs(y_scaled).max(initial=1))
+            prefix = f"sub{sub_index}:"
 
             pad = _TilePadAccumulator(y_scaled, grid)
 
-            self._wg_muls_and_acc_adds(layer, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t)
-            self._wg_input_adds(layer, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m)
-            self._wg_output_adds(layer, tf, y_max, pad, n, k_out, tiles, t, m)
+            self._wg_muls_and_acc_adds(
+                layer, prefix, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t
+            )
+            self._wg_input_adds(
+                layer, prefix, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m
+            )
+            self._wg_output_adds(layer, prefix, tf, y_scaled, pad, n, k_out, tiles, t, m)
             pad.flush()
 
         # Sub-conv recombination + bias additions act on the final summed output.
-        n_extra = (len(sub_contexts) - 1 + 1) * k_out * out_h * out_w * n
+        ops_per_sample = (len(sub_contexts) - 1 + 1) * k_out * out_h * out_w
         self._inject_result_adds(
-            layer, "wg_output_add", n_extra, y_scaled.reshape(n, -1)
+            layer,
+            "wg_output_add",
+            "wg_output_add:recombine",
+            ops_per_sample,
+            y_scaled.reshape(n, -1),
         )
 
-    def _wg_muls_and_acc_adds(self, layer, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t):
+    def _wg_muls_and_acc_adds(
+        self, layer, prefix, u, v, m_arr, at, pad, n, k_out, c_in, tiles, t
+    ):
         acc_width = layer.acc_width
-        rng = self.rng
 
         # --- element-wise multiplications ---------------------------------------
-        n_mul = n * k_out * c_in * tiles * t * t
-        count = self._num_events(layer.name, "wg_mul", n_mul, self._mul_exposure_bits(layer))
-        if count:
-            img = rng.integers(0, n, size=count)
-            kk = rng.integers(0, k_out, size=count)
-            cc = rng.integers(0, c_in, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            ii = rng.integers(0, t, size=count)
-            jj = rng.integers(0, t, size=count)
+        events = self._site_events(
+            layer.name,
+            "wg_mul",
+            prefix + "wg_mul",
+            n,
+            k_out * c_in * tiles * t * t,
+            self._mul_exposure_bits(layer),
+            (k_out, c_in, tiles, t, t),
+        )
+        if events is not None:
+            img = events.img
+            kk, cc, tl, ii, jj = events.coords
             products = u[img, cc, tl, ii, jj] * v[kk, cc, ii, jj]
             mul_width = self._mul_register_width(layer)
-            bits = rng.integers(0, mul_width, size=count)
-            deltas = register_flip_delta(products, bits, mul_width, 0)
+            deltas = self._register_deltas(products, mul_width, events)
             pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
 
         # --- channel-reduction additions -----------------------------------------
-        n_add = n * k_out * max(c_in - 1, 0) * tiles * t * t
-        count = self._num_events(layer.name, "wg_acc_add", n_add, self._add_exposure_bits(layer))
-        if count:
-            img = rng.integers(0, n, size=count)
-            kk = rng.integers(0, k_out, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            ii = rng.integers(0, t, size=count)
-            jj = rng.integers(0, t, size=count)
+        events = self._site_events(
+            layer.name,
+            "wg_acc_add",
+            prefix + "wg_acc_add",
+            n,
+            k_out * max(c_in - 1, 0) * tiles * t * t,
+            self._add_exposure_bits(layer),
+            (k_out, tiles, t, t),
+        )
+        if events is not None:
+            img = events.img
+            kk, tl, ii, jj = events.coords
             m_vals = m_arr[img, kk, tl, ii, jj]
-            m_width = _stage_register_width(
-                int(np.abs(m_arr).max(initial=1)), acc_width
-            )
-            bits = rng.integers(0, m_width, size=count)
-            deltas = register_flip_delta(m_vals, bits, m_width, 0)
+            widths = self._stage_widths(m_arr, acc_width, events)
+            deltas = self._register_deltas(m_vals, widths, events)
             pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
 
-    def _wg_input_adds(self, layer, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m):
+    def _wg_input_adds(
+        self, layer, prefix, u, v, m_arr, bt, at, pad, n, k_out, c_in, tiles, t, m
+    ):
         """Input-transform addition faults.
 
         Default model (paper semantics): the fault perturbs the additive
@@ -297,10 +433,8 @@ class OperationLevelInjector(Injector):
         the tile (ablation; see FaultModelConfig).
         """
         per_vector = int(np.maximum((bt != 0).sum(axis=1) - 1, 0).sum())
-        n_pass = n * c_in * tiles * per_vector * t  # per pass
+        pass_ops = c_in * tiles * per_vector * t  # per sample, per pass
         acc_width = layer.acc_width
-        rng = self.rng
-        u_width = _stage_register_width(int(np.abs(u).max(initial=1)), acc_width)
 
         if not self.config.amplify_input_transform_adds:
             # Additive-chain locality (paper semantics): the perturbation is a
@@ -309,41 +443,44 @@ class OperationLevelInjector(Injector):
             # same damage kernel as a channel-reduction add, with the
             # input-transform site census.  Base values come from the M
             # domain so the flip window matches the applied domain's units.
-            count = self._num_events(
-                layer.name, "wg_input_add", 2 * n_pass, self._add_exposure_bits(layer)
+            events = self._site_events(
+                layer.name,
+                "wg_input_add",
+                prefix + "wg_input_add",
+                n,
+                2 * pass_ops,
+                self._add_exposure_bits(layer),
+                (k_out, tiles, t, t),
             )
-            if count == 0:
+            if events is None:
                 return
-            img = rng.integers(0, n, size=count)
-            kk = rng.integers(0, k_out, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            ii = rng.integers(0, t, size=count)
-            jj = rng.integers(0, t, size=count)
-            m_width = _stage_register_width(
-                int(np.abs(m_arr).max(initial=1)), acc_width
-            )
-            bits = rng.integers(0, m_width, size=count)
+            img = events.img
+            kk, tl, ii, jj = events.coords
+            widths = self._stage_widths(m_arr, acc_width, events)
             base_vals = m_arr[img, kk, tl, ii, jj]
-            deltas = register_flip_delta(base_vals, bits, m_width, 0)
+            deltas = self._register_deltas(base_vals, widths, events)
             pad.add_rank1(img, kk, tl, deltas, at[:, ii], at[:, jj])
             return
 
         for pass_idx in (1, 2):
-            count = self._num_events(
-                layer.name, "wg_input_add", n_pass, self._add_exposure_bits(layer)
+            events = self._site_events(
+                layer.name,
+                "wg_input_add",
+                f"{prefix}wg_input_add:p{pass_idx}",
+                n,
+                pass_ops,
+                self._add_exposure_bits(layer),
+                (c_in, tiles, t, t),
             )
-            if count == 0:
+            if events is None:
                 continue
-            img = rng.integers(0, n, size=count)
-            cc = rng.integers(0, c_in, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            uu = rng.integers(0, t, size=count)
-            vv = rng.integers(0, t, size=count)
-            bits = rng.integers(0, u_width, size=count)
+            img = events.img
+            cc, tl, uu, vv = events.coords
+            u_widths = self._stage_widths(u, acc_width, events)
             base_vals = u[img, cc, tl, uu, vv]
-            deltas = register_flip_delta(base_vals, bits, u_width, 0)
+            deltas = self._register_deltas(base_vals, u_widths, events)
 
-            for f in range(count):
+            for f in range(len(events)):
                 delta = int(deltas[f])
                 if delta == 0:
                     continue
@@ -359,45 +496,50 @@ class OperationLevelInjector(Injector):
                 dy = np.einsum("ui,kij,vj->kuv", at, dm, at)
                 pad.add_tile_all_k(int(img[f]), int(tl[f]), dy)
 
-    def _wg_output_adds(self, layer, tf, y_max, pad, n, k_out, tiles, t, m):
+    def _wg_output_adds(self, layer, prefix, tf, y_scaled, pad, n, k_out, tiles, t, m):
         """Output-transform faults: row (pass 1) or element (pass 2) updates."""
         at = tf.at_int.astype(np.int64)
         per_vector = int(np.maximum((at != 0).sum(axis=1) - 1, 0).sum())
-        width = _stage_register_width(y_max, layer.acc_width)
-        rng = self.rng
+        y_flat = y_scaled.reshape(n, -1)
 
         # Pass 1: P = AT M, shape (m, t): per tile per k, t applications.
-        count = self._num_events(
-            layer.name, "wg_output_add", n * k_out * tiles * per_vector * t,
+        events = self._site_events(
+            layer.name,
+            "wg_output_add",
+            prefix + "wg_output_add:p1",
+            n,
+            k_out * tiles * per_vector * t,
             self._add_exposure_bits(layer),
+            (k_out, tiles, m, t),
+            with_signs=True,
         )
-        if count:
-            img = rng.integers(0, n, size=count)
-            kk = rng.integers(0, k_out, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            uu = rng.integers(0, m, size=count)
-            vv = rng.integers(0, t, size=count)
-            bits = rng.integers(0, width, size=count)
-            signs = rng.integers(0, 2, size=count).astype(np.int64) * 2 - 1
-            deltas = signs * (np.int64(1) << bits)
+        if events is not None:
+            img = events.img
+            kk, tl, uu, vv = events.coords
+            widths = self._stage_widths(y_flat, layer.acc_width, events)
+            bits = events.bits(widths)
+            deltas = events.signs() * (np.int64(1) << bits)
             # dY[u, w] = delta * A[v, w] = delta * at[w, v]
             rows = deltas[:, None] * at[:, vv].T  # (F, m)
             pad.add_row(img, kk, tl, uu, rows)
 
         # Pass 2: Y = P A, shape (m, m): per tile per k, m applications.
-        count = self._num_events(
-            layer.name, "wg_output_add", n * k_out * tiles * per_vector * m,
+        events = self._site_events(
+            layer.name,
+            "wg_output_add",
+            prefix + "wg_output_add:p2",
+            n,
+            k_out * tiles * per_vector * m,
             self._add_exposure_bits(layer),
+            (k_out, tiles, m, m),
+            with_signs=True,
         )
-        if count:
-            img = rng.integers(0, n, size=count)
-            kk = rng.integers(0, k_out, size=count)
-            tl = rng.integers(0, tiles, size=count)
-            uu = rng.integers(0, m, size=count)
-            ww = rng.integers(0, m, size=count)
-            bits = rng.integers(0, width, size=count)
-            signs = rng.integers(0, 2, size=count).astype(np.int64) * 2 - 1
-            deltas = signs * (np.int64(1) << bits)
+        if events is not None:
+            img = events.img
+            kk, tl, uu, ww = events.coords
+            widths = self._stage_widths(y_flat, layer.acc_width, events)
+            bits = events.bits(widths)
+            deltas = events.signs() * (np.int64(1) << bits)
             pad.add_element(img, kk, tl, uu, ww, deltas)
 
 

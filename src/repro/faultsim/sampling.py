@@ -1,0 +1,226 @@
+"""Counter-based fault-event sampling: partition-invariant draws.
+
+The legacy (``"stream"``) injectors pull every random number from one
+sequential PCG64 stream, so a draw's value depends on its *position* —
+visit order, batch boundaries and sample partitioning all shift the
+stream.  This module implements the ``"counter"`` scheme: every draw is a
+pure function of ``(campaign seed, layer, site, sample chunk)``, realized
+as keyed Philox streams (:func:`repro.utils.rng.site_rng`).
+
+Sampling protocol
+-----------------
+The sample axis is divided into fixed-size chunks of
+``FaultModelConfig.chunk_samples`` consecutive evaluation samples (global
+indices, not batch-relative).  For one injection *site* — a (layer,
+category/pass) pair — and one chunk, the keyed stream
+``site_rng(seed, layer, site, chunk)`` is consumed in a fixed order:
+
+1. event count    ``~ Poisson(ber · ops_per_sample · exposure · thinning · chunk)``,
+   capped at ``max_events_per_category``;
+2. sample offset  ``~ U{0..chunk-1}`` per event;
+3. coordinates    ``~ U{0..high_i-1}`` per event, one draw per axis;
+4. bit fraction   ``~ U[0, 1)`` per event — mapped to a register bit only
+   once the event's register width is known (widths may depend on the
+   event's own sample's values, which other partitions cannot see, so the
+   *raw randomness* must be value-independent);
+5. sign           ``~ U{-1, +1}`` per event, for sites that need one.
+
+Events whose global sample index falls outside the evaluated batch are
+discarded *after* all draws.  Consequently any partition of the sample
+axis — slice sizes, evaluation batch sizes, worker counts — sees exactly
+the same faults for the samples it owns, and recombined results are
+bit-identical to an unpartitioned run (``tests/test_rng_partition_invariance.py``).
+
+The per-category expected fault count is identical to the stream scheme's
+(``lambda = ber · n_ops · exposure · thinning``); only the Monte-Carlo
+realization differs, which is why the scheme is part of a campaign's
+content identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.utils.rng import site_rng
+
+__all__ = ["SiteEvents", "StreamEvents", "CounterSampler", "bit_lengths"]
+
+
+def bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative int64 arrays.
+
+    Implemented with integer shifts (no float log) so boundary powers of
+    two are exact for the full int64 range.
+    """
+    x = np.asarray(values, dtype=np.int64).copy()
+    if np.any(x < 0):
+        raise FaultModelError("bit_lengths requires non-negative values")
+    out = np.zeros(x.shape, dtype=np.int64)
+    while np.any(x > 0):
+        out[x > 0] += 1
+        x >>= np.int64(1)
+    return out
+
+
+class SiteEvents:
+    """Fault events drawn for one site over the current batch.
+
+    ``img`` holds batch-local sample rows and ``coords`` one array per
+    requested coordinate axis.  :meth:`bits` and :meth:`signs` complete
+    the per-event draws; callers must invoke them in that order, at most
+    once each (the stream implementation consumes a shared sequential
+    generator, so the call order *is* the draw order).
+    """
+
+    __slots__ = ("img", "coords", "_bit_u", "_sign")
+
+    def __init__(self, img, coords, bit_u, sign):
+        self.img = img
+        self.coords = coords
+        self._bit_u = bit_u
+        self._sign = sign
+
+    def __len__(self) -> int:
+        return len(self.img)
+
+    def bits(self, width) -> np.ndarray:
+        """Register bit per event, uniform over ``[0, width)``.
+
+        ``width`` may be a scalar or a per-event array (sample-local
+        register widths): the stored ``U[0, 1)`` draw is scaled by each
+        event's own width, so the randomness consumed is identical no
+        matter how widths turned out.
+        """
+        w = np.asarray(width, dtype=np.int64)
+        picked = (self._bit_u * w).astype(np.int64)
+        return np.minimum(picked, w - 1)
+
+    def signs(self) -> np.ndarray:
+        """±1 sign per event."""
+        return self._sign
+
+
+class StreamEvents(SiteEvents):
+    """Legacy sequential-stream events: draws come from the shared RNG.
+
+    Reproduces the pre-refactor injectors draw-for-draw: coordinates were
+    taken first, then ``rng.integers(0, width)`` for bits, then (where
+    used) the sign draw — so :meth:`bits`/:meth:`signs` pull from the
+    shared generator lazily, in call order.
+    """
+
+    __slots__ = ("_rng", "_count")
+
+    def __init__(self, rng, img, coords):
+        super().__init__(img, coords, bit_u=None, sign=None)
+        self._rng = rng
+        self._count = len(img)
+
+    def bits(self, width) -> np.ndarray:
+        if np.ndim(width) != 0:
+            raise FaultModelError(
+                "per-event register widths require the counter RNG scheme"
+            )
+        return self._rng.integers(0, int(width), size=self._count)
+
+    def signs(self) -> np.ndarray:
+        return self._rng.integers(0, 2, size=self._count).astype(np.int64) * 2 - 1
+
+
+class CounterSampler:
+    """Draws counter-scheme fault events for batches of a larger sample set.
+
+    One sampler serves one injector instance; it tracks only the rolling
+    position of the current batch within the global sample axis
+    (``sample_base`` + everything seen through :meth:`begin_batch`).
+    """
+
+    def __init__(self, seed: int, ber: float, config, sample_base: int = 0):
+        if isinstance(seed, np.random.Generator):
+            raise FaultModelError(
+                "the counter RNG scheme keys streams by integer campaign "
+                "seed; pass an int seed, not a Generator"
+            )
+        self.seed = int(seed)
+        self.ber = float(ber)
+        self.config = config
+        self.capped = False
+        self._batch_start = int(sample_base)
+        self._next_start = int(sample_base)
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Advance to the next forward batch of ``batch_size`` samples."""
+        self._batch_start = self._next_start
+        self._next_start += int(batch_size)
+
+    @property
+    def batch_start(self) -> int:
+        """Global index of the current batch's first sample."""
+        return self._batch_start
+
+    def site_events(
+        self,
+        layer_name: str,
+        site: str,
+        n_batch: int,
+        ops_per_sample: int,
+        exposure: int,
+        thinning: float,
+        highs: tuple[int, ...],
+        with_signs: bool = False,
+    ) -> SiteEvents | None:
+        """Events of one site that land inside the current batch.
+
+        ``ops_per_sample`` is the site's op census for a *single* sample;
+        ``exposure`` the already-resolved bits-per-op factor; ``thinning``
+        the protection survival factor ``1 - rho``.  Returns ``None``
+        when no event hits the batch.
+        """
+        if self.ber == 0.0 or ops_per_sample <= 0 or thinning <= 0.0 or n_batch <= 0:
+            return None
+        chunk = self.config.chunk_samples
+        cap = self.config.max_events_per_category
+        lam = self.ber * float(ops_per_sample) * exposure * thinning * chunk
+        start = self._batch_start
+        stop = start + n_batch
+
+        imgs: list[np.ndarray] = []
+        coord_cols: list[list[np.ndarray]] = [[] for _ in highs]
+        bit_us: list[np.ndarray] = []
+        sign_cols: list[np.ndarray] = []
+        for index in range(start // chunk, (stop - 1) // chunk + 1):
+            rng = site_rng(self.seed, layer_name, site, index)
+            count = int(rng.poisson(lam))
+            if count > cap:
+                count = cap
+                self.capped = True
+            if count == 0:
+                continue
+            offsets = rng.integers(0, chunk, size=count)
+            coords = [rng.integers(0, high, size=count) for high in highs]
+            bit_u = rng.random(count)
+            sign = (
+                rng.integers(0, 2, size=count).astype(np.int64) * 2 - 1
+                if with_signs
+                else None
+            )
+            sample = index * chunk + offsets
+            mask = (sample >= start) & (sample < stop)
+            if not mask.any():
+                continue
+            imgs.append(sample[mask] - start)
+            for column, axis in zip(coord_cols, coords):
+                column.append(axis[mask])
+            bit_us.append(bit_u[mask])
+            if sign is not None:
+                sign_cols.append(sign[mask])
+
+        if not imgs:
+            return None
+        return SiteEvents(
+            img=np.concatenate(imgs),
+            coords=[np.concatenate(column) for column in coord_cols],
+            bit_u=np.concatenate(bit_us),
+            sign=np.concatenate(sign_cols) if with_signs else None,
+        )

@@ -12,7 +12,13 @@ import numpy as np
 
 from repro.errors import FaultModelError
 
-__all__ = ["to_twos_complement", "from_twos_complement", "flip_bit", "flip_delta"]
+__all__ = [
+    "to_twos_complement",
+    "from_twos_complement",
+    "flip_bit",
+    "flip_delta",
+    "flip_delta_var",
+]
 
 
 def to_twos_complement(values: np.ndarray, width: int) -> np.ndarray:
@@ -64,6 +70,35 @@ def flip_delta(values: np.ndarray, bits: np.ndarray | int, width: int) -> np.nda
     _check_width(width)
     before = from_twos_complement(to_twos_complement(values, width), width)
     return flip_bit(values, bits, width) - before
+
+
+def flip_delta_var(
+    values: np.ndarray, bits: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """:func:`flip_delta` with a *per-element* register width.
+
+    The counter-based fault sampler sizes each sum register to its own
+    sample's dynamic range (batch-wide maxima would couple a fault's delta
+    to which other samples share its batch, breaking partition
+    invariance), so one vectorized injection carries a width per event.
+    Semantics per element are exactly :func:`flip_delta`.
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.size and (int(widths.min()) < 1 or int(widths.max()) > 62):
+        raise FaultModelError("widths must be in [1, 62]")
+    bits = np.asarray(bits, dtype=np.int64)
+    if np.any(bits < 0) or np.any(bits >= widths):
+        raise FaultModelError("bit index out of range for per-element width")
+    values = np.asarray(values, dtype=np.int64)
+    mask = (np.int64(1) << widths) - np.int64(1)
+    sign_bit = np.int64(1) << (widths - np.int64(1))
+    full_span = np.int64(1) << widths
+
+    words = values & mask
+    before = np.where(words & sign_bit, words - full_span, words)
+    flipped = words ^ (np.int64(1) << bits)
+    after = np.where(flipped & sign_bit, flipped - full_span, flipped)
+    return (after - before).astype(np.int64)
 
 
 def _check_width(width: int) -> None:

@@ -17,7 +17,14 @@ File format (version 2)::
 
     {"version": 2}
     {"key": "<task-key>", "ber": 1e-06, "seed": 0, "accuracy": 0.81, "events": 42}
+    {"key": "<task-key>", "ber": 1e-06, "seed": 0, "start": 0, "stop": 8, "correct": 7, "total": 8, "events": 3}
     ...
+
+The second row shape is a **sample-slice** record
+(:class:`~repro.faultsim.campaign.SampleSliceResult`, written by
+sample-sharded engines): it carries correct/total counts for one window
+of the evaluation set, distinguished by its ``correct`` field.  Slice
+keys bind their window, so point and slice records never collide.
 
 A key appearing on several lines (e.g. a ``resume=False`` recompute) is
 resolved last-line-wins.  Version-1 files (a single JSON document, written
@@ -35,17 +42,27 @@ import warnings
 from pathlib import Path
 
 from repro.errors import CheckpointError
-from repro.faultsim.campaign import SeedPointResult
+from repro.faultsim.campaign import SampleSliceResult, SeedPointResult
 
 __all__ = ["CampaignCheckpoint"]
 
 _VERSION = 2
 _LEGACY_VERSION = 1
 
+#: Either stored record shape.
+_Result = SeedPointResult | SampleSliceResult
+
+
+def _row_result(row: dict) -> _Result:
+    """Decode one checkpoint row into its result type."""
+    if "correct" in row:
+        return SampleSliceResult.from_dict(row)
+    return SeedPointResult.from_dict(row)
+
 
 def _parse_file(
     path: Path, text: str
-) -> tuple[dict[str, SeedPointResult], list[int], bool]:
+) -> tuple[dict[str, _Result], list[int], bool]:
     """Parse checkpoint ``text`` into (points, damaged line numbers, legacy).
 
     Raises :class:`CheckpointError` when the file is unrecoverable (no
@@ -66,14 +83,14 @@ def _parse_file(
             raise CheckpointError(
                 f"checkpoint {path} has unsupported version {version!r}"
             )
-        points: dict[str, SeedPointResult] = {}
+        points: dict[str, _Result] = {}
         damaged: list[int] = []
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
             try:
                 row = json.loads(line)
-                points[row["key"]] = SeedPointResult.from_dict(row)
+                points[row["key"]] = _row_result(row)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 damaged.append(lineno)
         return points, damaged, False
@@ -91,14 +108,17 @@ def _parse_file(
             f"checkpoint {path} has unsupported version {version!r}"
         )
     points = {
-        key: SeedPointResult.from_dict(row)
-        for key, row in doc.get("points", {}).items()
+        key: _row_result(row) for key, row in doc.get("points", {}).items()
     }
     return points, [], True
 
 
 class CampaignCheckpoint:
-    """Append-mostly map of task-key -> :class:`SeedPointResult` on disk.
+    """Append-mostly map of task-key -> completed result on disk.
+
+    Values are :class:`SeedPointResult` (point subtasks) or
+    :class:`SampleSliceResult` (sample-slice subtasks); keys distinguish
+    the shapes, so one file safely holds both.
 
     An existing file is always loaded and merged into, never truncated:
     whether cached tasks are *served* back to a batch is the engine's
@@ -122,7 +142,7 @@ class CampaignCheckpoint:
         self.path = Path(path)
         self.flush_every = max(1, int(flush_every))
         self.strict = strict
-        self._points: dict[str, SeedPointResult] = {}
+        self._points: dict[str, _Result] = {}
         #: Keys put since the last flush, in completion order.
         self._pending: list[str] = []
         self._dirty = 0
@@ -162,11 +182,11 @@ class CampaignCheckpoint:
     def __contains__(self, key: str) -> bool:
         return key in self._points
 
-    def get(self, key: str) -> SeedPointResult | None:
+    def get(self, key: str) -> _Result | None:
         """Completed result for ``key``, or None if not checkpointed."""
         return self._points.get(key)
 
-    def put(self, key: str, result: SeedPointResult) -> None:
+    def put(self, key: str, result: _Result) -> None:
         """Record a completed task; flushes every ``flush_every`` puts."""
         self._points[key] = result
         self._pending.append(key)

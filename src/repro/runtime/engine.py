@@ -26,6 +26,22 @@ the missing seeds.  Seed-batch tasks are reduced back (in seed order,
 with :func:`repro.faultsim.combine_seed_results` — the exact serial
 statistics code) into one :class:`CampaignResult` per task.
 
+Sample sharding
+---------------
+``CampaignEngine(sample_shard=S)`` splits every (BER, seed) subtask once
+more, into **sample-slice subtasks** of ``S`` evaluation samples each
+(:meth:`TaskSpec.sample_subtasks`), which fills the pool even for a
+single (BER, seed) point — the dominant wall-clock case for the TMR
+planner on big models.  Slice subtasks are scheduled and checkpointed
+exactly like seed subtasks (an interrupted point resumes with only its
+missing slices recomputed) and reduced back with
+:func:`repro.faultsim.combine_slice_results`.  Because fault draws must
+not depend on how the sample axis is partitioned, sample sharding
+requires the counter RNG scheme
+(``FaultModelConfig(rng_scheme="counter")``) whenever faults are
+injected; results are then **bit-identical for any slice size and any
+worker count**, including the unsharded serial run.
+
 Determinism contract
 --------------------
 Each subtask (:func:`repro.faultsim.evaluate_seed_point`) owns its RNG
@@ -56,13 +72,18 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.faultsim.campaign import (
     CampaignConfig,
     CampaignResult,
+    SampleSliceResult,
     SeedPointResult,
     combine_seed_results,
+    combine_slice_results,
+    evaluate_sample_slice,
     evaluate_seed_point,
 )
+from repro.faultsim.model import RNG_COUNTER
 from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.checkpoint import CampaignCheckpoint
@@ -123,16 +144,25 @@ class SweepStats:
 _WORKER_PAYLOAD: tuple | None = None
 
 
-def _run_task(index: int) -> tuple[int, float, int, float]:
-    """Evaluate one task (by table index) inside a worker process."""
-    qmodel, x, labels, config, tasks = _WORKER_PAYLOAD
-    task = tasks[index]
-    start = time.perf_counter()
-    result = evaluate_seed_point(
-        qmodel, x, labels, task.ber, task.seed,
+def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec):
+    """Evaluate one subtask unit: a (BER, seed) point or a sample slice."""
+    if task.sample_slice is None:
+        return evaluate_seed_point(
+            qmodel, x, labels, task.ber, task.seed,
+            config=config, protection=task.protection,
+        )
+    return evaluate_sample_slice(
+        qmodel, x, labels, task.ber, task.seed, task.sample_slice,
         config=config, protection=task.protection,
     )
-    return index, result.accuracy, result.events, time.perf_counter() - start
+
+
+def _run_task(index: int):
+    """Evaluate one task (by table index) inside a worker process."""
+    qmodel, x, labels, config, tasks = _WORKER_PAYLOAD
+    start = time.perf_counter()
+    result = _evaluate_unit(qmodel, x, labels, config, tasks[index])
+    return index, result, time.perf_counter() - start
 
 
 class CampaignEngine:
@@ -157,6 +187,11 @@ class CampaignEngine:
     progress:
         Optional callable receiving a :class:`ProgressEvent` per completed
         task (see :func:`repro.runtime.progress.stream_reporter`).
+    sample_shard:
+        When set, every (BER, seed) subtask is split into sample slices of
+        this many evaluation samples (see *Sample sharding* in the module
+        docs).  Requires the counter RNG scheme for any faulty point;
+        ``None`` (default) disables sample sharding.
     """
 
     def __init__(
@@ -166,8 +201,14 @@ class CampaignEngine:
         resume: bool = False,
         flush_every: int = 1,
         progress: ProgressReporter | None = None,
+        sample_shard: int | None = None,
     ):
         self.workers = resolve_workers(workers)
+        if sample_shard is not None and sample_shard < 1:
+            raise ConfigurationError(
+                f"sample_shard must be >= 1 (or None), got {sample_shard}"
+            )
+        self.sample_shard = sample_shard
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.resume = resume
         self.flush_every = flush_every
@@ -206,20 +247,36 @@ class CampaignEngine:
         Each result slot matches its task's shape: a point task yields
         its :class:`SeedPointResult`, a seed-batch task the
         :class:`CampaignResult` reduced from its per-seed results in seed
-        order.  Both are bit-identical to evaluating the tasks serially
-        in order, for any worker count.
+        order (an engine with ``sample_shard`` additionally splits every
+        seed subtask into sample-slice subtasks and folds each group back
+        first).  All of it is bit-identical to evaluating the tasks
+        serially in order, for any worker count and any slice size.
         """
         config = config or CampaignConfig()
         meter = ThroughputMeter()
 
-        # Expand to subtask granularity; spans[i] is task i's slice into
-        # the flat unit table.
+        # Expand to subtask granularity.  Two levels: tasks fan out into
+        # per-seed subtasks, and (with sample_shard) each seed subtask
+        # fans out into sample-slice subtasks.  groups[i] holds task i's
+        # per-seed spans into the flat unit table.
+        n_samples = (
+            len(x) if config.max_samples is None else min(len(x), config.max_samples)
+        )
         units: list[TaskSpec] = []
-        spans: list[tuple[int, int]] = []
+        groups: list[list[tuple[int, int]]] = []
         for task in tasks:
-            start = len(units)
-            units.extend(task.subtasks())
-            spans.append((start, len(units)))
+            group: list[tuple[int, int]] = []
+            for seed_unit in task.subtasks():
+                expanded = (
+                    seed_unit.sample_subtasks(n_samples, self.sample_shard)
+                    if self.sample_shard is not None
+                    else (seed_unit,)
+                )
+                start = len(units)
+                units.extend(expanded)
+                group.append((start, len(units)))
+            groups.append(group)
+        self._check_slice_scheme(units, config)
 
         keys = self._unit_keys(qmodel, x, labels, units, config)
         checkpoint = self._open_checkpoint()
@@ -227,7 +284,7 @@ class CampaignEngine:
         # Cached subtasks are only *served* under the resume policy; the
         # checkpoint itself always merges (completed work is never wiped).
         serve_cache = checkpoint is not None and self.resume
-        slots: list[SeedPointResult | None] = [None] * len(units)
+        slots: list[SeedPointResult | SampleSliceResult | None] = [None] * len(units)
         pending: list[int] = []
         for index in range(len(units)):
             cached = checkpoint.get(keys[index]) if serve_cache else None
@@ -271,10 +328,21 @@ class CampaignEngine:
             workers=self.workers,
             elapsed_seconds=meter.elapsed,
         )
-        return [
-            self._reduce(qmodel, task, slots[start:end], config)
-            for task, (start, end) in zip(tasks, spans)
-        ]
+        results = []
+        for task, group in zip(tasks, groups):
+            # A span longer than 1 is always an engine-made slice
+            # expansion (sample_subtasks returns the unit unchanged when
+            # it does not split); fold it back into its SeedPointResult.
+            per_seed = [
+                slots[start]
+                if end - start == 1
+                else combine_slice_results(
+                    slots[start:end], expected_total=n_samples
+                )
+                for start, end in group
+            ]
+            results.append(self._reduce(qmodel, task, per_seed, config))
+        return results
 
     def run_point(
         self,
@@ -313,6 +381,23 @@ class CampaignEngine:
         return self.evaluate_tasks(qmodel, x, labels, tasks, config=config)
 
     # --- internals ---------------------------------------------------------------
+    @staticmethod
+    def _check_slice_scheme(units: list[TaskSpec], config: CampaignConfig) -> None:
+        """Reject sample-sliced faulty units under the stream RNG scheme.
+
+        Stream draws depend on batch position, so slicing would silently
+        change results; only the counter scheme is partition-invariant.
+        Fault-free (BER 0) units slice fine under either scheme.
+        """
+        if config.fault_config.rng_scheme == RNG_COUNTER:
+            return
+        if any(u.sample_slice is not None and u.ber > 0.0 for u in units):
+            raise ConfigurationError(
+                "sample sharding with fault injection requires the "
+                "partition-invariant counter RNG scheme; set "
+                "FaultModelConfig(rng_scheme='counter') on the campaign"
+            )
+
     def _open_checkpoint(self) -> CampaignCheckpoint | None:
         if self.checkpoint_path is None:
             return None
@@ -371,7 +456,7 @@ class CampaignEngine:
         meter: ThroughputMeter,
         done: int,
         total: int,
-        result: SeedPointResult,
+        result: SeedPointResult | SampleSliceResult,
         tag: str,
         cached: bool,
         elapsed: float,
@@ -393,30 +478,19 @@ class CampaignEngine:
     def _run_serial(self, payload: tuple, pending: list[int]):
         qmodel, x, labels, config, tasks = payload
         for index in pending:
-            task = tasks[index]
             start = time.perf_counter()
-            result = evaluate_seed_point(
-                qmodel, x, labels, task.ber, task.seed,
-                config=config, protection=task.protection,
-            )
+            result = _evaluate_unit(qmodel, x, labels, config, tasks[index])
             yield index, result, time.perf_counter() - start
 
     def _run_parallel(self, payload: tuple, pending: list[int]):
         global _WORKER_PAYLOAD
         ctx = _fork_context()
         processes = min(self.workers, len(pending))
-        tasks = payload[4]
         # Publish before fork so children inherit by copy-on-write.
         _WORKER_PAYLOAD = payload
         try:
             with ctx.Pool(processes=processes) as pool:
-                for index, accuracy, events, elapsed in pool.imap_unordered(
-                    _run_task, pending, chunksize=1
-                ):
-                    task = tasks[index]
-                    yield index, SeedPointResult(
-                        ber=task.ber, seed=task.seed, accuracy=accuracy, events=events
-                    ), elapsed
+                yield from pool.imap_unordered(_run_task, pending, chunksize=1)
         finally:
             _WORKER_PAYLOAD = None
 

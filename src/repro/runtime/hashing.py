@@ -105,6 +105,7 @@ def campaign_fingerprint(
         "amplify": fc.amplify_input_transform_adds,
         "protection": list(protection.cache_key()) if protection is not None else None,
     }
+    payload.update(fc.rng_identity())
     return _digest(payload)
 
 
@@ -124,9 +125,19 @@ def data_fingerprint(x, labels) -> str:
 
 
 def point_key(
-    model_fp: str, campaign_fp: str, data_fp: str, ber: float, seed: int
+    model_fp: str,
+    campaign_fp: str,
+    data_fp: str,
+    ber: float,
+    seed: int,
+    sample_slice: tuple[int, int] | None = None,
 ) -> str:
-    """Checkpoint key for one (model, campaign, data, BER, seed) unit."""
+    """Checkpoint key for one (model, campaign, data, BER, seed) unit.
+
+    ``sample_slice`` extends the identity to one sample window of the
+    point; ``None`` (the whole set) reproduces the historical key, so
+    pre-sharding checkpoints stay valid.
+    """
     payload = {
         "model": model_fp,
         "campaign": campaign_fp,
@@ -134,6 +145,8 @@ def point_key(
         "ber": float(ber),
         "seed": int(seed),
     }
+    if sample_slice is not None:
+        payload["slice"] = [int(sample_slice[0]), int(sample_slice[1])]
     return _digest(payload)[:32]
 
 
@@ -144,6 +157,7 @@ def task_key(
     ber: float,
     seed: int,
     protection: ProtectionPlan | None = None,
+    sample_slice: tuple[int, int] | None = None,
 ) -> str:
     """Checkpoint key for one :class:`~repro.runtime.tasks.TaskSpec`.
 
@@ -155,7 +169,12 @@ def task_key(
     evaluation reached as an explicit task therefore share one key.
     """
     return point_key(
-        model_fp, campaign_fingerprint(config, protection), data_fp, ber, seed
+        model_fp,
+        campaign_fingerprint(config, protection),
+        data_fp,
+        ber,
+        seed,
+        sample_slice=sample_slice,
     )
 
 
@@ -182,5 +201,10 @@ def batch_task_keys(
         if campaign_fp is None:
             campaign_fp = campaign_fingerprint(config, task.protection)
             campaign_fps[plan_id] = campaign_fp
-        keys.append(point_key(model_fp, campaign_fp, data_fp, task.ber, task.seed))
+        keys.append(
+            point_key(
+                model_fp, campaign_fp, data_fp, task.ber, task.seed,
+                sample_slice=task.sample_slice,
+            )
+        )
     return keys

@@ -18,18 +18,29 @@ evaluates a freshly grown plan every iteration.
   statistics code) into one
   :class:`~repro.faultsim.campaign.CampaignResult`.
 
+Under the counter RNG scheme a point task can shard once more, along the
+*sample* axis: :meth:`TaskSpec.sample_subtasks` expands a (BER, seed)
+point into **sample-slice subtasks** (``sample_slice=(start, stop)``),
+each scoring one contiguous window of the evaluation set via
+:func:`~repro.faultsim.campaign.evaluate_sample_slice`.  The engine
+reduces a slice group back with
+:func:`~repro.faultsim.campaign.combine_slice_results` — bit-identical to
+the unsliced point for any slice size, which is what lets a single
+(BER, seed) point fill a whole worker pool.
+
 The task's *identity* — what makes a checkpoint entry reusable — always
 lives at subtask granularity: each (BER, seed) subtask is keyed by the
 content hash produced by :meth:`TaskSpec.key`, which binds the model
 fingerprint, the evaluation-data fingerprint, the campaign configuration,
-the point and the plan.  A seed-batch task therefore has no key of its own;
-a resumed engine recomputes only the *missing seeds* of an interrupted
-batch, and a batch task shares its per-seed checkpoint entries with the
-equivalent point tasks.  The model hash is bound by the engine at dispatch
-time (tasks are model-relative; :meth:`CampaignEngine.evaluate_tasks`
-evaluates a batch of tasks against one model), and the ``tag`` deliberately
-does not contribute: the same evaluation reached from different figures
-shares one cache entry.
+the point, the plan and (for slice subtasks) the sample window.  A
+seed-batch task therefore has no key of its own; a resumed engine
+recomputes only the *missing seeds* of an interrupted batch — or the
+missing *slices* of an interrupted point — and a batch task shares its
+per-seed checkpoint entries with the equivalent point tasks.  The model
+hash is bound by the engine at dispatch time (tasks are model-relative;
+:meth:`CampaignEngine.evaluate_tasks` evaluates a batch of tasks against
+one model), and the ``tag`` deliberately does not contribute: the same
+evaluation reached from different figures shares one cache entry.
 """
 
 from __future__ import annotations
@@ -70,6 +81,12 @@ class TaskSpec:
         into one per-seed subtask each (see :meth:`subtasks`) and reduces
         the results into a single
         :class:`~repro.faultsim.campaign.CampaignResult` in seed order.
+    sample_slice:
+        Optional ``(start, stop)`` window into the evaluation samples:
+        the task scores only those samples
+        (:class:`~repro.faultsim.campaign.SampleSliceResult`).  Only valid
+        on point tasks; produced by :meth:`sample_subtasks` when the
+        engine sample-shards a batch.
     """
 
     ber: float
@@ -77,6 +94,7 @@ class TaskSpec:
     protection: ProtectionPlan | None = None
     tag: str = field(default="", compare=False)
     seeds: tuple[int, ...] | None = None
+    sample_slice: tuple[int, int] | None = None
 
     def __post_init__(self):
         """Validate the point/seed-batch shape invariant."""
@@ -90,6 +108,19 @@ class TaskSpec:
             if len(self.seeds) == 0:
                 raise ConfigurationError("TaskSpec seeds= must be non-empty")
             object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if self.sample_slice is not None:
+            if self.seed is None:
+                raise ConfigurationError(
+                    "sample_slice= is only valid on point tasks (seed=); "
+                    "expand a seed batch with subtasks() first"
+                )
+            start, stop = (int(v) for v in self.sample_slice)
+            if start < 0 or stop <= start:
+                raise ConfigurationError(
+                    f"sample_slice must satisfy 0 <= start < stop, "
+                    f"got ({start}, {stop})"
+                )
+            object.__setattr__(self, "sample_slice", (start, stop))
 
     @property
     def is_batch(self) -> bool:
@@ -112,19 +143,53 @@ class TaskSpec:
             for seed in self.seeds
         )
 
+    def sample_subtasks(self, n_samples: int, shard: int) -> tuple["TaskSpec", ...]:
+        """The sample-slice tasks this point task shards into.
+
+        Splits the ``[0, n_samples)`` evaluation window into consecutive
+        slices of ``shard`` samples (the last slice may be shorter).  A
+        shard at least as large as the sample set returns the task
+        unchanged — no slicing overhead, and the checkpoint key stays the
+        plain point key.  Seed-batch tasks must be expanded with
+        :meth:`subtasks` first; tasks already carrying a slice are their
+        own singleton expansion.
+        """
+        if self.is_batch:
+            raise ConfigurationError(
+                "expand a seed-batch TaskSpec with subtasks() before "
+                "sample-sharding"
+            )
+        if shard < 1:
+            raise ConfigurationError(f"sample shard must be >= 1, got {shard}")
+        if self.sample_slice is not None or shard >= n_samples:
+            return (self,)
+        return tuple(
+            TaskSpec(
+                ber=self.ber,
+                seed=self.seed,
+                protection=self.protection,
+                tag=self.tag,
+                sample_slice=(start, min(start + shard, n_samples)),
+            )
+            for start in range(0, n_samples, shard)
+        )
+
     def key(self, model_fp: str, data_fp: str, config: CampaignConfig) -> str:
         """Content-addressed checkpoint key for this point task.
 
         ``model_fp``/``data_fp`` come from :func:`model_fingerprint` /
         :func:`data_fingerprint`; the engine computes them once per batch.
-        Seed-batch tasks have no key of their own — their identity lives
-        in their :meth:`subtasks` — so calling this on one raises
-        :class:`~repro.errors.ConfigurationError`.
+        A slice subtask's key additionally binds its sample window (a
+        slice result is never served to a different window, nor to the
+        unsliced point).  Seed-batch tasks have no key of their own —
+        their identity lives in their :meth:`subtasks` — so calling this
+        on one raises :class:`~repro.errors.ConfigurationError`.
         """
         if self.is_batch:
             raise ConfigurationError(
                 "a seed-batch TaskSpec has no single key; key its subtasks()"
             )
         return task_key(
-            model_fp, data_fp, config, self.ber, self.seed, self.protection
+            model_fp, data_fp, config, self.ber, self.seed, self.protection,
+            sample_slice=self.sample_slice,
         )

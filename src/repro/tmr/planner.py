@@ -45,10 +45,21 @@ increment rule ever made accuracy-dependent (e.g. adaptive step sizes),
 speculation would change the trajectory and this equivalence would no
 longer hold — which is why the mode is opt-in (``speculative=False``
 default, ``--speculative`` on the CLI).
+
+``adaptive_lookahead=True`` bounds that overshoot cost: each round's
+depth shrinks in proportion to the remaining accuracy gap (a planner far
+from its goal speculates the full ``lookahead``; one nearly converged
+speculates barely past the next candidate).  Depth only changes *which
+prefix* of the predetermined chain a round evaluates — never the chain
+itself — so adaptivity is result-identical too; the realized
+evaluation/discard counts are recorded on
+:attr:`TmrPlanResult.discarded_evaluations` and logged.
 """
 
 from __future__ import annotations
 
+import logging
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -63,6 +74,8 @@ from repro.tmr.cost import OpCostModel, tmr_overhead_energy
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
 __all__ = ["TmrPlanResult", "plan_tmr"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass
@@ -89,6 +102,11 @@ class TmrPlanResult:
     history:
         One ``{"iteration", "accuracy", "overhead"}`` dict per counted
         iteration, identical between serial and speculative planning.
+    discarded_evaluations:
+        Candidate evaluations performed beyond the counted iterations —
+        the speculative overshoot cost (0 for serial planning).  An
+        execution statistic, not part of the planning result, so it is
+        deliberately excluded from :meth:`to_dict`.
     """
 
     plan: ProtectionPlan
@@ -99,6 +117,7 @@ class TmrPlanResult:
     iterations: int
     converged: bool
     history: list[dict] = field(default_factory=list)
+    discarded_evaluations: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable form."""
@@ -181,6 +200,27 @@ def _default_lookahead(engine: CampaignEngine, config: CampaignConfig) -> int:
     return max(2, -(-engine.workers // seeds))
 
 
+def _adaptive_depth(
+    base: int, target_accuracy: float, accuracy: float, initial_gap: float
+) -> int:
+    """Speculation depth scaled to the remaining accuracy gap.
+
+    ``ceil(base * gap / initial_gap)``, clamped to ``[1, base]``: while
+    the goal is distant the full ``base`` lookahead amortizes round
+    latency, and as the gap closes the round shrinks toward a single
+    candidate so overshoot evaluations stop being wasted near
+    convergence.  Depth selects only how much of the *predetermined*
+    candidate chain one round evaluates, so any depth sequence yields
+    identical planning results.
+    """
+    if initial_gap <= 0.0:
+        return 1
+    gap = target_accuracy - accuracy
+    if gap <= 0.0:
+        return 1
+    return max(1, min(base, math.ceil(base * gap / initial_gap)))
+
+
 def plan_tmr(
     qmodel: QuantizedModel,
     x: np.ndarray,
@@ -196,6 +236,7 @@ def plan_tmr(
     engine: CampaignEngine | None = None,
     speculative: bool = False,
     lookahead: int | None = None,
+    adaptive_lookahead: bool = False,
 ) -> TmrPlanResult:
     """Grow a protection plan until ``target_accuracy`` is reached at ``ber``.
 
@@ -241,6 +282,14 @@ def plan_tmr(
     lookahead:
         Candidates per speculative round; default sizes the round to the
         engine's pool (``ceil(workers / len(seeds))``, at least 2).
+    adaptive_lookahead:
+        Shrink each speculative round's depth as the accuracy gap to the
+        goal narrows (proportional to ``gap / initial gap``), cutting the
+        overshoot evaluations discarded at convergence.  Results stay
+        identical — depth only picks how much of the predetermined chain
+        a round evaluates; the realized overshoot is recorded on
+        :attr:`TmrPlanResult.discarded_evaluations`.  Ignored without
+        ``speculative``.
 
     Returns
     -------
@@ -256,7 +305,7 @@ def plan_tmr(
     plan = initial_plan.copy() if initial_plan is not None else ProtectionPlan()
     if lookahead is not None and lookahead < 1:
         raise ConfigurationError(f"lookahead must be >= 1, got {lookahead}")
-    depth = (
+    base_depth = (
         (lookahead or _default_lookahead(engine, config)) if speculative else 1
     )
 
@@ -264,7 +313,14 @@ def plan_tmr(
     converged = False
     accuracy = 0.0
     iterations = 0
+    evaluated = 0
+    initial_gap: float | None = None
     while iterations < max_iterations and not converged:
+        depth = base_depth
+        if speculative and adaptive_lookahead and initial_gap is not None:
+            depth = _adaptive_depth(
+                base_depth, target_accuracy, accuracy, initial_gap
+            )
         length = min(depth, max_iterations - iterations)
         chain, saturated = _candidate_chain(
             qmodel, plan, vulnerability_ranking, step, length
@@ -279,12 +335,15 @@ def plan_tmr(
             for offset, candidate in enumerate(chain)
         ]
         points = engine.evaluate_tasks(qmodel, x, labels, tasks, config=config)
+        evaluated += len(chain)
         # Walk the round in chain order — the serial evaluation order —
         # counting exactly the iterations the serial loop would have run.
         for candidate, point in zip(chain, points):
             iterations += 1
             plan = candidate
             accuracy = point.mean_accuracy
+            if initial_gap is None:
+                initial_gap = max(0.0, target_accuracy - accuracy)
             history.append(
                 {
                     "iteration": iterations,
@@ -307,6 +366,13 @@ def plan_tmr(
             break  # everything protected; cannot do better
         plan = successor
 
+    discarded = evaluated - iterations
+    if speculative:
+        _LOG.info(
+            "speculative TMR planning: %d candidate evaluations for %d "
+            "counted iterations (%d discarded, adaptive_lookahead=%s)",
+            evaluated, iterations, discarded, adaptive_lookahead,
+        )
     return TmrPlanResult(
         plan=plan,
         achieved_accuracy=accuracy,
@@ -316,4 +382,5 @@ def plan_tmr(
         iterations=iterations,
         converged=converged,
         history=history,
+        discarded_evaluations=discarded,
     )

@@ -111,6 +111,7 @@ def run_tmr_schemes(
     step: float = 0.25,
     engine: CampaignEngine | None = None,
     speculative: bool = False,
+    adaptive_lookahead: bool = False,
 ) -> dict[str, SchemeCurve]:
     """Produce Fig. 5's three overhead-vs-accuracy-goal curves.
 
@@ -119,7 +120,8 @@ def run_tmr_schemes(
     ``engine`` is threaded into both vulnerability analyses and every
     :func:`plan_tmr` call (default: serial in-process engine);
     ``speculative`` enables the planner's result-identical lookahead mode
-    for all three schemes.
+    for all three schemes, and ``adaptive_lookahead`` its gap-scaled
+    round depth (fewer discarded overshoot evaluations near convergence).
     """
     config = config or CampaignConfig()
     goals = sorted(goals)
@@ -145,6 +147,7 @@ def run_tmr_schemes(
             qm_standard, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_st, step=step,
             initial_plan=st_plan, engine=engine, speculative=speculative,
+            adaptive_lookahead=adaptive_lookahead,
         )
         st_plan = st_result.plan
         curves[SCHEME_ST].goals.append(goal)
@@ -157,6 +160,7 @@ def run_tmr_schemes(
             qm_winograd, x, labels, ber, goal, ranking_st,
             config=config, cost_model=cost_model_wg, step=step,
             initial_plan=mapped, engine=engine, speculative=speculative,
+            adaptive_lookahead=adaptive_lookahead,
         )
         curves[SCHEME_WG_WO_AFT].goals.append(goal)
         curves[SCHEME_WG_WO_AFT].results.append(unaware)
@@ -165,6 +169,7 @@ def run_tmr_schemes(
             qm_winograd, x, labels, ber, goal, ranking_wg,
             config=config, cost_model=cost_model_wg, step=step,
             initial_plan=aware_plan, engine=engine, speculative=speculative,
+            adaptive_lookahead=adaptive_lookahead,
         )
         aware_plan = aware.plan
         curves[SCHEME_WG_W_AFT].goals.append(goal)

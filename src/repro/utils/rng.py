@@ -9,15 +9,28 @@ requires that every stochastic component draw from an explicitly seeded
   by a string label, so that e.g. per-layer fault sampling is decorrelated
   but still reproducible.
 * :class:`RngFactory` hands out named, independent streams from one seed.
+* :func:`site_rng` builds a **counter-based** stream: a Philox generator
+  that is a pure function of ``(seed, *labels)``.  Unlike a sequential
+  stream, two call sites keyed by different labels can draw in any order —
+  or on different processes — and always see the same values, which is what
+  makes fault sampling partition-invariant (see
+  :mod:`repro.faultsim.sampling`).
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 
 import numpy as np
 
-__all__ = ["as_rng", "spawn_rng", "RngFactory"]
+__all__ = ["as_rng", "spawn_rng", "site_rng", "RngFactory"]
+
+_MASK64 = (1 << 64) - 1
+
+#: Domain-separation constant so site streams can never collide with other
+#: SeedSequence users of the same integer seed.
+_SITE_DOMAIN = 0x5749_4E4F_4641_554C  # "WINOFAUL"
 
 
 def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -31,10 +44,40 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+@functools.lru_cache(maxsize=4096)
 def _label_to_int(label: str) -> int:
-    """Hash ``label`` into a stable 64-bit integer."""
+    """Hash ``label`` into a stable 64-bit integer.
+
+    Memoized: the fault samplers re-key streams with the same small set
+    of layer/site labels once per sample chunk per forward pass, which
+    would otherwise repeat the SHA-256 on the hot injection path.
+    """
     digest = hashlib.sha256(label.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def site_rng(seed: int, *labels: int | str) -> np.random.Generator:
+    """Counter-based keyed stream: a generator fully determined by its key.
+
+    Returns a Philox-backed :class:`numpy.random.Generator` whose state is
+    a pure function of ``(seed, labels)`` — no global state, no draw-order
+    coupling between different keys.  String labels are hashed stably
+    (SHA-256), integer labels are used directly, so
+    ``site_rng(s, "layer3", "wg_mul", 7)`` names one independent stream per
+    (seed, layer, category, chunk) tuple.
+
+    This is the primitive behind the fault injectors' ``"counter"`` RNG
+    scheme: because every draw is keyed by *what* is being sampled instead
+    of *when*, splitting an evaluation batch across workers cannot shift
+    any draw.
+    """
+    entropy = [_SITE_DOMAIN, int(seed) & _MASK64]
+    for label in labels:
+        if isinstance(label, str):
+            entropy.append(_label_to_int(label))
+        else:
+            entropy.append(int(label) & _MASK64)
+    return np.random.Generator(np.random.Philox(seed=np.random.SeedSequence(entropy)))
 
 
 def spawn_rng(parent: np.random.Generator, label: str) -> np.random.Generator:

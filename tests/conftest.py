@@ -1,5 +1,11 @@
 """Shared fixtures: a tiny trained network and its quantized variants.
 
+Fixture-only by design — importable helpers (the model builder, pinned
+regression constants) live in :mod:`tests._helpers`, because a bare
+``from conftest import ...`` is ambiguous in this repo
+(``benchmarks/conftest.py`` shadows this file depending on collection
+order).
+
 The fixtures are session-scoped because training even a tiny NumPy network
 takes a few seconds; every consumer treats them as read-only.
 """
@@ -10,30 +16,10 @@ import numpy as np
 import pytest
 
 from repro.datasets import DatasetSpec, make_dataset
-from repro.nn import Adam, GraphBuilder, TrainConfig, initialize, train
+from repro.nn import Adam, TrainConfig, initialize, train
 from repro.quantized import QuantConfig, quantize_model
 
-#: Campaign seed pinned for the TMR-planner engine-parity regression test
-#: (tests/test_engine_tasks_parity.py).  Chosen once and frozen: the test
-#: asserts that plan_tmr's convergence trajectory (iterations, converged,
-#: history, fractions) under this seed is identical whether the
-#: per-iteration evaluations run serially or through the campaign engine.
-TMR_REGRESSION_SEED = 22020867
-
-
-def build_tiny_cnn(classes: int = 4) -> "Graph":
-    """A small conv net exercising conv/bn/relu/pool/linear paths."""
-    b = GraphBuilder("tinycnn", input_shape=(3, 16, 16))
-    x = b.conv2d(b.input_node, 8, kernel=3, padding=1, name="c1")
-    x = b.batchnorm2d(x, name="b1")
-    x = b.relu(x, name="r1")
-    x = b.maxpool2d(x, kernel=2, stride=2, name="p1")
-    x = b.conv2d(x, 16, kernel=3, padding=1, name="c2")
-    x = b.batchnorm2d(x, name="b2")
-    x = b.relu(x, name="r2")
-    x = b.globalavgpool(x, name="gap")
-    x = b.flatten(x, name="fl")
-    return b.output(b.linear(x, classes, name="fc"))
+from tests._helpers import TMR_REGRESSION_SEED, build_tiny_cnn
 
 
 @pytest.fixture(scope="session")

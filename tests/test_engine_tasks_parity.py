@@ -258,7 +258,7 @@ class TestFig5Parity:
         self, tiny_quantized, tiny_eval, tmr_regression_seed
     ):
         """Convergence under the pinned regression seed (see
-        tests/conftest.py TMR_REGRESSION_SEED) is engine-invariant
+        tests/_helpers.py TMR_REGRESSION_SEED) is engine-invariant
         (iterations, converged, fractions, full history)."""
         qm, _ = tiny_quantized
         x, y = tiny_eval
@@ -352,6 +352,49 @@ class TestFig5Speculative:
                 f"lookahead={lookahead}"
             )
         assert reference.iterations > 1, "regression guard: goal must be non-trivial"
+
+    def test_adaptive_lookahead_matches_serial_reference(
+        self, tiny_quantized, tiny_eval
+    ):
+        """Adaptive depth shrinks rounds as the goal gap narrows, but only
+        ever picks a prefix of the predetermined chain — results must stay
+        identical to the serial heuristic, with no more overshoot than the
+        fixed-depth speculative run."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        reference = self._reference(qm, x, y)
+        fixed = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+            config=CONFIG, step=0.5, speculative=True, lookahead=4,
+            engine=CampaignEngine(workers=PARITY_WORKERS),
+        )
+        adaptive = plan_tmr(
+            qm, x, y, self.HARD_BER, self.TARGET, self._ranking(qm),
+            config=CONFIG, step=0.5, speculative=True, lookahead=4,
+            adaptive_lookahead=True,
+            engine=CampaignEngine(workers=PARITY_WORKERS),
+        )
+        assert plan_summary(adaptive) == plan_summary(reference)
+        assert adaptive.discarded_evaluations <= fixed.discarded_evaluations
+        assert reference.discarded_evaluations == 0
+
+    def test_adaptive_lookahead_saturation_path(self, tiny_quantized, tiny_eval):
+        """Adaptive depth on an unreachable goal (gap never closes) keeps
+        full-depth rounds and still matches the serial saturation stop."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        ranking = self._ranking(qm)[:1]
+        config = CampaignConfig(seeds=(0,), batch_size=24, max_samples=24)
+        reference = serial_plan_tmr(
+            qm, x, y, 5e-2, 1.0, ranking, config, step=0.5, max_iterations=50
+        )
+        adaptive = plan_tmr(
+            qm, x, y, 5e-2, 1.0, ranking, config=config, step=0.5,
+            max_iterations=50, speculative=True, lookahead=3,
+            adaptive_lookahead=True, engine=CampaignEngine(workers=PARITY_WORKERS),
+        )
+        assert plan_summary(adaptive) == plan_summary(reference)
+        assert not reference.converged
 
     def test_speculative_serial_engine_identical(self, tiny_quantized, tiny_eval):
         """Speculation without a pool (workers=1) is still result-identical."""

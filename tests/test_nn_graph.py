@@ -60,7 +60,7 @@ class TestStateDict:
         state = tiny_trained.state_dict()
         import copy
 
-        from tests.conftest import build_tiny_cnn
+        from tests._helpers import build_tiny_cnn
         from repro.nn import initialize
 
         fresh = build_tiny_cnn()

@@ -121,7 +121,7 @@ class TestTrainLoop:
         assert accuracy > 0.8
 
     def test_early_stop_respects_target(self, tiny_dataset):
-        from tests.conftest import build_tiny_cnn
+        from tests._helpers import build_tiny_cnn
 
         g = build_tiny_cnn()
         initialize(g, 1)
@@ -137,7 +137,7 @@ class TestTrainLoop:
         assert result.epochs_run < 50
 
     def test_length_mismatch_raises(self, tiny_dataset):
-        from tests.conftest import build_tiny_cnn
+        from tests._helpers import build_tiny_cnn
 
         g = build_tiny_cnn()
         initialize(g, 0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RngFactory, as_rng, spawn_rng
+from repro.utils.rng import RngFactory, as_rng, site_rng, spawn_rng
 
 
 class TestAsRng:
@@ -35,6 +35,45 @@ class TestSpawnRng:
         child_1 = spawn_rng(np.random.default_rng(0), "layer3")
         child_2 = spawn_rng(np.random.default_rng(0), "layer3")
         assert np.array_equal(child_1.random(8), child_2.random(8))
+
+
+class TestSiteRng:
+    def test_pure_function_of_key(self):
+        a = site_rng(7, "layer3", "wg_mul", 4).random(8)
+        b = site_rng(7, "layer3", "wg_mul", 4).random(8)
+        assert np.array_equal(a, b)
+
+    def test_every_key_component_matters(self):
+        base = site_rng(7, "layer3", "wg_mul", 4).random(8)
+        for key in (
+            (8, "layer3", "wg_mul", 4),      # seed
+            (7, "layer4", "wg_mul", 4),      # layer
+            (7, "layer3", "wg_acc_add", 4),  # site
+            (7, "layer3", "wg_mul", 5),      # chunk
+        ):
+            assert not np.array_equal(site_rng(*key).random(8), base), key
+
+    def test_draw_order_between_keys_is_free(self):
+        """Unlike a sequential stream, interleaving two keyed streams in
+        any order cannot shift either one's draws."""
+        first_then_second = [
+            site_rng(1, "a", 0).random(4),
+            site_rng(1, "b", 0).random(4),
+        ]
+        second_then_first = [
+            site_rng(1, "b", 0).random(4),
+            site_rng(1, "a", 0).random(4),
+        ]
+        assert np.array_equal(first_then_second[0], second_then_first[1])
+        assert np.array_equal(first_then_second[1], second_then_first[0])
+
+    def test_int_and_str_labels_do_not_collide_trivially(self):
+        assert not np.array_equal(
+            site_rng(1, 3).random(4), site_rng(1, "3").random(4)
+        )
+
+    def test_uses_counter_based_philox(self):
+        assert isinstance(site_rng(0, "x").bit_generator, np.random.Philox)
 
 
 class TestRngFactory:
