@@ -23,10 +23,17 @@ much lower on multi-core machines (see ``docs/RUNTIME.md``).
 
 ``--shard-samples N`` additionally splits every (BER, seed) evaluation
 into N-sample slices, filling the pool even when a figure evaluates a
-single point at a time.  Sample sharding needs partition-invariant fault
-draws, so it switches the campaigns to the counter RNG scheme
-(``--rng-scheme counter``) — a different, equally valid Monte-Carlo draw
-than the default stream scheme, cached and checkpointed separately.
+single point at a time (``--shard-samples auto`` picks the slice size
+per batch).  Sample sharding needs partition-invariant fault draws, so
+it switches the campaigns to the counter RNG scheme (``--rng-scheme
+counter``) — a different, equally valid Monte-Carlo draw than the
+default stream scheme, cached and checkpointed separately.
+
+``--replay`` serves every figure's campaigns through the golden-run
+cache: the fault-free forward runs once per (model, data) and each
+evaluation recomputes only its fault-touched samples — bit-identical
+results, a fraction of the arithmetic at low BER.  Replay also requires
+the counter RNG scheme, which it implies just like ``--shard-samples``.
 """
 
 from __future__ import annotations
@@ -48,6 +55,21 @@ _FIGURES = {
     "fig6": fig6,
     "fig7": fig7,
 }
+
+
+def _shard_samples(value: str):
+    """Parse ``--shard-samples``: a positive int or the string 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        shard = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if shard < 1:
+        raise argparse.ArgumentTypeError("--shard-samples must be >= 1")
+    return shard
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,12 +123,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--shard-samples",
-        type=int,
+        type=_shard_samples,
         default=None,
         metavar="N",
         help="split every (BER, seed) evaluation into N-sample slices so "
-        "a single point fills the worker pool; implies --rng-scheme "
-        "counter (pairs with --workers)",
+        "a single point fills the worker pool ('auto' picks the slice "
+        "size per batch); implies --rng-scheme counter (pairs with "
+        "--workers)",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="serve every campaign through the golden-run cache: one "
+        "fault-free forward per (model, data), each evaluation recomputes "
+        "only fault-touched samples (bit-identical results); implies "
+        "--rng-scheme counter",
+    )
+    parser.add_argument(
+        "--no-replay",
+        dest="replay",
+        action="store_false",
+        help="disable golden-run replay (the default)",
     )
     parser.add_argument(
         "--rng-scheme",
@@ -118,13 +155,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.shard_samples is not None and args.shard_samples < 1:
-        parser.error("--shard-samples must be >= 1")
     scheme = args.rng_scheme
     if args.shard_samples is not None:
         if scheme == "stream":
             parser.error(
                 "--shard-samples requires the counter RNG scheme; drop "
+                "--rng-scheme stream"
+            )
+        scheme = "counter"
+    if args.replay:
+        if scheme == "stream":
+            parser.error(
+                "--replay requires the counter RNG scheme; drop "
                 "--rng-scheme stream"
             )
         scheme = "counter"
@@ -138,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint=args.checkpoint,
         progress=stream_reporter() if args.progress else None,
         sample_shard=args.shard_samples,
+        replay=args.replay,
     )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:

@@ -63,7 +63,8 @@ def make_engine(
     resume: bool = False,
     checkpoint: str | Path | None = None,
     progress=None,
-    sample_shard: int | None = None,
+    sample_shard: int | str | None = None,
+    replay: bool = False,
 ) -> CampaignEngine:
     """Campaign engine with the default checkpoint under ``results_dir()``.
 
@@ -71,7 +72,9 @@ def make_engine(
     are keyed by a content hash of (model, campaign, BER, seed[, sample
     slice]).  ``sample_shard`` splits every (BER, seed) subtask into
     sample slices (requires a counter-scheme profile; see the CLI's
-    ``--shard-samples``).
+    ``--shard-samples``); ``replay`` serves campaigns through the
+    golden-run cache (CLI ``--replay``) — both change wall-clock only,
+    never results.
     """
     path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
     return CampaignEngine(
@@ -80,6 +83,7 @@ def make_engine(
         resume=resume,
         progress=progress,
         sample_shard=sample_shard,
+        replay=replay,
     )
 
 

@@ -21,6 +21,15 @@ one contiguous slice of the evaluation samples, and
 the exact :class:`SeedPointResult` the unsliced evaluation produces —
 bit-identical for *any* slice size, because every fault draw is keyed by
 (seed, layer, site, sample chunk) rather than by stream position.
+
+Both units accept a pre-built golden run (``golden=``,
+:class:`repro.faultsim.replay.GoldenRun`): BER = 0 evaluations become
+pure lookups of the cached clean predictions, and faulty counter-scheme
+evaluations execute through the dirty-sample replay executor
+(:func:`repro.faultsim.replay.replay_forward`) — bit-identical, but only
+fault-touched samples are recomputed.  Faulty *stream*-scheme
+evaluations silently bypass the cache (stream draws are not
+partition-invariant), so passing ``golden=`` never changes any result.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.faultsim.model import FaultModelConfig, RNG_COUNTER
 from repro.faultsim.neuron_level import NeuronLevelInjector
 from repro.faultsim.operation_level import OperationLevelInjector
 from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.replay import GoldenRun, replay_forward
 from repro.faultsim.sites import expected_faults_per_image
 from repro.quantized.qmodel import QuantizedModel
 
@@ -188,6 +198,23 @@ def _make_injector(
     raise ValueError(f"unknown injector kind '{config.injector}'")
 
 
+def _replay_usable(golden, config: CampaignConfig, ber: float, n: int) -> bool:
+    """Whether a golden run can serve this evaluation.
+
+    BER 0 is always a cache lookup; faulty points additionally need the
+    partition-invariant counter RNG scheme (stream draws depend on visit
+    order, so replay would change the Monte-Carlo realization).  When
+    usable, structural identity is validated; otherwise the caller falls
+    back to the full forward and results are unchanged either way.
+    """
+    if golden is None:
+        return False
+    if ber != 0.0 and config.fault_config.rng_scheme != RNG_COUNTER:
+        return False
+    golden.check(config.injector, config.fault_config, n)
+    return True
+
+
 def evaluate_seed_point(
     qmodel: QuantizedModel,
     x: np.ndarray,
@@ -196,23 +223,35 @@ def evaluate_seed_point(
     seed: int,
     config: CampaignConfig | None = None,
     protection: ProtectionPlan | None = None,
+    golden: GoldenRun | None = None,
 ) -> SeedPointResult:
     """Evaluate accuracy for exactly one (BER, seed) pair.
 
     Pure with respect to the sweep: the result depends only on the
     arguments (the injector owns its RNG, seeded here), so units may be
     executed in any order or on any process and recombined afterwards.
+    ``golden`` optionally serves the evaluation from the golden-run cache
+    (see the module docs); it is an execution strategy, never part of the
+    result's identity — outputs are bit-identical with or without it.
     """
     config = config or CampaignConfig()
     if config.max_samples is not None:
         x, labels = x[: config.max_samples], labels[: config.max_samples]
+    use_golden = _replay_usable(golden, config, ber, len(x))
     if ber == 0.0:
+        if use_golden:
+            accuracy = float((golden.preds == labels).mean())
+            return SeedPointResult(ber=ber, seed=seed, accuracy=accuracy, events=0)
         accuracy = qmodel.evaluate(x, labels, batch_size=config.batch_size)
         return SeedPointResult(ber=ber, seed=seed, accuracy=float(accuracy), events=0)
     injector = _make_injector(config, ber, seed, protection)
-    accuracy = qmodel.evaluate(
-        x, labels, injector=injector, batch_size=config.batch_size
-    )
+    if use_golden:
+        preds = replay_forward(qmodel, golden, injector, (0, len(x)))
+        accuracy = float((preds == labels).mean())
+    else:
+        accuracy = qmodel.evaluate(
+            x, labels, injector=injector, batch_size=config.batch_size
+        )
     return SeedPointResult(
         ber=ber,
         seed=seed,
@@ -230,6 +269,7 @@ def evaluate_sample_slice(
     sample_slice: tuple[int, int],
     config: CampaignConfig | None = None,
     protection: ProtectionPlan | None = None,
+    golden: GoldenRun | None = None,
 ) -> SampleSliceResult:
     """Evaluate one (BER, seed) pair over one slice of the sample set.
 
@@ -240,6 +280,9 @@ def evaluate_sample_slice(
     on its dataset-global index, never on which slice or batch carries it,
     so any disjoint cover of ``[0, N)`` recombines
     (:func:`combine_slice_results`) into exactly the unsliced result.
+    ``golden`` optionally serves the slice from the golden-run cache
+    (the cache spans the whole evaluation set; the slice gathers its
+    window), bit-identically.
 
     Raises :class:`~repro.errors.ConfigurationError` when ``ber > 0`` under
     the legacy stream scheme, whose draws are not partition-invariant.
@@ -252,9 +295,13 @@ def evaluate_sample_slice(
         raise ConfigurationError(
             f"sample slice [{start}, {stop}) out of range for {len(x)} samples"
         )
+    use_golden = _replay_usable(golden, config, ber, len(x))
     xs, ys = x[start:stop], labels[start:stop]
     if ber == 0.0:
-        preds = qmodel.predict(xs, batch_size=config.batch_size)
+        if use_golden:
+            preds = golden.preds[start:stop]
+        else:
+            preds = qmodel.predict(xs, batch_size=config.batch_size)
         return SampleSliceResult(
             ber=ber, seed=seed, start=start, stop=stop,
             correct=int((preds == ys).sum()), total=stop - start, events=0,
@@ -266,7 +313,10 @@ def evaluate_sample_slice(
             f"(got '{config.fault_config.rng_scheme}')"
         )
     injector = _make_injector(config, ber, seed, protection, sample_base=start)
-    preds = qmodel.predict(xs, injector=injector, batch_size=config.batch_size)
+    if use_golden:
+        preds = replay_forward(qmodel, golden, injector, (start, stop))
+    else:
+        preds = qmodel.predict(xs, injector=injector, batch_size=config.batch_size)
     return SampleSliceResult(
         ber=ber,
         seed=seed,

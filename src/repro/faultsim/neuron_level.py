@@ -21,14 +21,14 @@ import numpy as np
 
 from repro.fixedpoint.bits import flip_bit
 from repro.faultsim.model import BerConvention, FaultModelConfig, RNG_COUNTER
-from repro.faultsim.sampling import CounterSampler
+from repro.faultsim.sampling import CounterSampler, ReplayHooks
 from repro.quantized.interface import Injector
 from repro.utils.rng import as_rng
 
 __all__ = ["NeuronLevelInjector"]
 
 
-class NeuronLevelInjector(Injector):
+class NeuronLevelInjector(ReplayHooks, Injector):
     """Flips bits in the quantized outputs of conv and linear layers.
 
     ``lambda = ber * n_neurons * width`` under the per-bit convention

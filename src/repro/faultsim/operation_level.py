@@ -57,7 +57,12 @@ from repro.faultsim.model import (
     RNG_COUNTER,
 )
 from repro.faultsim.protection import ProtectionPlan
-from repro.faultsim.sampling import CounterSampler, StreamEvents, bit_lengths
+from repro.faultsim.sampling import (
+    CounterSampler,
+    ReplayHooks,
+    StreamEvents,
+    bit_lengths,
+)
 from repro.quantized.interface import Injector
 from repro.utils.rng import as_rng
 
@@ -103,7 +108,7 @@ def register_flip_delta(
     return flip_delta(held, bits, width) << np.int64(scale_pow)
 
 
-class OperationLevelInjector(Injector):
+class OperationLevelInjector(ReplayHooks, Injector):
     """Injects operation-level faults during quantized inference.
 
     Parameters
@@ -351,7 +356,9 @@ class OperationLevelInjector(Injector):
             u, v, m_arr = ctx.u_int, ctx.v_int, ctx.m_int
             grid = ctx.grid
             tiles = grid.num_tiles
-            c_in = u.shape[1]
+            # Channel count from the (always-present) transformed filters:
+            # u/m may be None for census-only passes (needs_intermediates).
+            c_in = v.shape[1]
             t = tf.t
             prefix = f"sub{sub_index}:"
 

@@ -78,16 +78,24 @@ class QuantizedModel:
         ``x`` is float input data (quantized by the input node) of shape
         ``(N, C, H, W)``.
         """
+        return self.forward_trace(x, injector)[self.output_name]
+
+    def forward_trace(
+        self, x: np.ndarray, injector: Injector | None = None
+    ) -> dict[str, np.ndarray]:
+        """Integer forward pass returning *every* node's output by name.
+
+        Same execution as :meth:`forward`; used by the golden-run cache
+        (:func:`repro.faultsim.replay.build_golden_run`) to capture the
+        fault-free activations the replay executor scatters into.
+        """
         if injector is not None:
             injector.begin_inference(x.shape[0])
         values: dict[str, np.ndarray] = {}
         for node in self.nodes:
-            if node.op == "QInput":
-                values[node.name] = node.forward([x], injector)
-                continue
-            xs = [values[src] for src in node.inputs]
+            xs = [x] if node.op == "QInput" else [values[src] for src in node.inputs]
             values[node.name] = node.forward(xs, injector)
-        return values[self.output_name]
+        return values
 
     def logits(self, x: np.ndarray, injector: Injector | None = None) -> np.ndarray:
         """Dequantized (real-valued) logits."""

@@ -188,7 +188,7 @@ class QConvWinograd(QNode):
         out_w = conv_output_size(w, self.kernel, self.stride, self.padding)
 
         xp = pad_nchw(np.asarray(x, dtype=np.int64), self.padding)
-        keep = injector is not None
+        keep = injector is not None and injector.needs_intermediates
         scale = self.transform.output_scale_2d
 
         y_scaled = None

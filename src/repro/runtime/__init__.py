@@ -18,11 +18,18 @@ contract and ``docs/ARCHITECTURE.md`` for the data flow.
 """
 
 from repro.runtime.checkpoint import CampaignCheckpoint
-from repro.runtime.engine import CampaignEngine, SweepStats, resolve_workers
+from repro.runtime.engine import (
+    CampaignEngine,
+    SAMPLE_SHARD_AUTO,
+    SweepStats,
+    auto_sample_shard,
+    resolve_workers,
+)
 from repro.runtime.hashing import (
     batch_task_keys,
     campaign_fingerprint,
     data_fingerprint,
+    golden_key,
     model_fingerprint,
     point_key,
     task_key,
@@ -40,11 +47,14 @@ __all__ = [
     "CampaignEngine",
     "CampaignCheckpoint",
     "SweepStats",
+    "SAMPLE_SHARD_AUTO",
     "TaskSpec",
+    "auto_sample_shard",
     "resolve_workers",
     "model_fingerprint",
     "campaign_fingerprint",
     "data_fingerprint",
+    "golden_key",
     "point_key",
     "task_key",
     "batch_task_keys",

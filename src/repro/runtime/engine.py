@@ -41,6 +41,27 @@ requires the counter RNG scheme
 (``FaultModelConfig(rng_scheme="counter")``) whenever faults are
 injected; results are then **bit-identical for any slice size and any
 worker count**, including the unsharded serial run.
+``sample_shard="auto"`` picks the slice size per batch with
+:func:`auto_sample_shard`: just enough slices that every worker owns at
+least one subtask, no finer (over-splitting pays per-slice dispatch and
+checkpoint overhead for nothing).  Under the stream RNG scheme auto
+sharding quietly declines to split rather than erroring.
+
+Golden-run replay
+-----------------
+``CampaignEngine(replay=True)`` builds the fault-free **golden run**
+(:func:`repro.faultsim.replay.build_golden_run`) once per (model, data,
+census identity) — keyed by :func:`repro.runtime.hashing.golden_key` and
+memoized across ``evaluate_tasks`` calls, so the TMR planner's many
+candidate batches and the figs 3–5 analyses share a single clean
+forward; protection plans never enter the key (protection only thins
+event rates — the clean pass is invariant).  The cache is built in the
+parent *before* the pool forks, so workers inherit it by copy-on-write
+like the rest of the payload.  BER = 0 subtasks become pure lookups of
+the cached predictions; faulty counter-scheme subtasks recompute only
+their fault-touched samples (:func:`repro.faultsim.replay.replay_forward`);
+faulty stream-scheme subtasks bypass the cache.  Replay is an execution
+strategy, not an identity: checkpoint keys and results are unchanged.
 
 Determinism contract
 --------------------
@@ -85,11 +106,13 @@ from repro.faultsim.campaign import (
 )
 from repro.faultsim.model import RNG_COUNTER
 from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.replay import GoldenRun, build_golden_run
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.checkpoint import CampaignCheckpoint
 from repro.runtime.hashing import (
     batch_task_keys,
     data_fingerprint,
+    golden_key,
     model_fingerprint,
 )
 from repro.runtime.progress import (
@@ -100,7 +123,17 @@ from repro.runtime.progress import (
 )
 from repro.runtime.tasks import TaskSpec
 
-__all__ = ["CampaignEngine", "SweepStats", "resolve_workers"]
+__all__ = [
+    "CampaignEngine",
+    "SweepStats",
+    "SAMPLE_SHARD_AUTO",
+    "auto_sample_shard",
+    "resolve_workers",
+]
+
+#: Sentinel accepted by ``CampaignEngine(sample_shard=...)`` / the CLI's
+#: ``--shard-samples auto``: pick the slice size per batch.
+SAMPLE_SHARD_AUTO = "auto"
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -111,6 +144,35 @@ def resolve_workers(workers: int | None) -> int:
         except AttributeError:
             return os.cpu_count() or 1
     return int(workers)
+
+
+def auto_sample_shard(n_samples: int, workers: int, n_units: int) -> int | None:
+    """Slice size giving every worker >= 1 subtask without over-splitting.
+
+    ``n_units`` is the batch's seed-subtask count before slicing.  When
+    the batch already carries at least one subtask per worker — or there
+    is only one worker, nothing to evaluate, or a single sample — no
+    slicing is needed and ``None`` is returned.  Otherwise each seed
+    subtask is split into (at least) ``ceil(workers / n_units)`` slices —
+    the smallest split that fills the pool, since finer slicing only adds
+    per-slice dispatch and checkpoint overhead.  Not every slice count is
+    realizable by a uniform slice size (``ceil(N / shard)`` skips values),
+    so the chooser takes the smallest *achievable* count at or above the
+    target, then re-balances to the largest slice size realizing it (the
+    slices come out equal-sized up to the final remainder).
+    """
+    if workers <= 1 or n_units <= 0 or n_samples <= 1:
+        return None
+    slices_per_unit = -(-workers // n_units)
+    if slices_per_unit <= 1:
+        return None
+    # Largest slice size still yielding >= slices_per_unit slices; its
+    # count is the smallest achievable count >= the target (slice counts
+    # are non-increasing in the slice size).
+    shard = max(1, -(-n_samples // (slices_per_unit - 1)) - 1)
+    count = -(-n_samples // shard)
+    # Re-balance: the largest slice size realizing exactly that count.
+    return max(1, -(-n_samples // count))
 
 
 @dataclass
@@ -144,24 +206,24 @@ class SweepStats:
 _WORKER_PAYLOAD: tuple | None = None
 
 
-def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec):
+def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec, golden=None):
     """Evaluate one subtask unit: a (BER, seed) point or a sample slice."""
     if task.sample_slice is None:
         return evaluate_seed_point(
             qmodel, x, labels, task.ber, task.seed,
-            config=config, protection=task.protection,
+            config=config, protection=task.protection, golden=golden,
         )
     return evaluate_sample_slice(
         qmodel, x, labels, task.ber, task.seed, task.sample_slice,
-        config=config, protection=task.protection,
+        config=config, protection=task.protection, golden=golden,
     )
 
 
 def _run_task(index: int):
     """Evaluate one task (by table index) inside a worker process."""
-    qmodel, x, labels, config, tasks = _WORKER_PAYLOAD
+    qmodel, x, labels, config, tasks, golden = _WORKER_PAYLOAD
     start = time.perf_counter()
-    result = _evaluate_unit(qmodel, x, labels, config, tasks[index])
+    result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
     return index, result, time.perf_counter() - start
 
 
@@ -190,8 +252,17 @@ class CampaignEngine:
     sample_shard:
         When set, every (BER, seed) subtask is split into sample slices of
         this many evaluation samples (see *Sample sharding* in the module
-        docs).  Requires the counter RNG scheme for any faulty point;
-        ``None`` (default) disables sample sharding.
+        docs).  Requires the counter RNG scheme for any faulty point.
+        ``"auto"`` picks the slice size per batch
+        (:func:`auto_sample_shard`, declining to split under the stream
+        scheme); ``None`` (default) disables sample sharding.
+    replay:
+        When True, every ``evaluate_tasks`` batch is served through the
+        golden-run cache (see *Golden-run replay* in the module docs):
+        one clean forward per (model, data, census identity), shared
+        copy-on-write with all workers; BER = 0 units become lookups and
+        faulty counter-scheme units recompute only fault-touched samples.
+        Results and checkpoint keys are bit-identical to ``replay=False``.
     """
 
     def __init__(
@@ -201,14 +272,22 @@ class CampaignEngine:
         resume: bool = False,
         flush_every: int = 1,
         progress: ProgressReporter | None = None,
-        sample_shard: int | None = None,
+        sample_shard: int | str | None = None,
+        replay: bool = False,
     ):
         self.workers = resolve_workers(workers)
-        if sample_shard is not None and sample_shard < 1:
+        if isinstance(sample_shard, str):
+            if sample_shard != SAMPLE_SHARD_AUTO:
+                raise ConfigurationError(
+                    f"sample_shard accepts an int >= 1, 'auto' or None, "
+                    f"got {sample_shard!r}"
+                )
+        elif sample_shard is not None and sample_shard < 1:
             raise ConfigurationError(
                 f"sample_shard must be >= 1 (or None), got {sample_shard}"
             )
         self.sample_shard = sample_shard
+        self.replay = bool(replay)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.resume = resume
         self.flush_every = flush_every
@@ -224,6 +303,13 @@ class CampaignEngine:
         #: (id(model), id(x), id(labels), max_samples) -> (model_fp,
         #: data_fp, pinned object refs).
         self._fingerprints: dict[tuple, tuple] = {}
+        #: golden_key -> GoldenRun, shared across evaluate_tasks calls
+        #: (the planner's candidate batches reuse one clean forward).
+        #: Holds the *most recent* key only: a GoldenRun pins every
+        #: node's activations over the whole evaluation set, and figure
+        #: drivers work through models sequentially, so keeping older
+        #: entries would only accumulate memory.
+        self._golden: dict[str, GoldenRun] = {}
 
     # --- public API --------------------------------------------------------------
     def evaluate_tasks(
@@ -262,14 +348,18 @@ class CampaignEngine:
         n_samples = (
             len(x) if config.max_samples is None else min(len(x), config.max_samples)
         )
+        per_task_subtasks = [task.subtasks() for task in tasks]
+        shard = self._effective_shard(
+            n_samples, sum(len(s) for s in per_task_subtasks), config
+        )
         units: list[TaskSpec] = []
         groups: list[list[tuple[int, int]]] = []
-        for task in tasks:
+        for subtasks in per_task_subtasks:
             group: list[tuple[int, int]] = []
-            for seed_unit in task.subtasks():
+            for seed_unit in subtasks:
                 expanded = (
-                    seed_unit.sample_subtasks(n_samples, self.sample_shard)
-                    if self.sample_shard is not None
+                    seed_unit.sample_subtasks(n_samples, shard)
+                    if shard is not None
                     else (seed_unit,)
                 )
                 start = len(units)
@@ -302,7 +392,20 @@ class CampaignEngine:
                     cached=True, elapsed=0.0,
                 )
 
-        payload = (qmodel, x, labels, config, units)
+        # Golden run built only when live work remains that can actually
+        # use it (faulty stream-scheme units bypass replay, so a stream
+        # batch without BER-0 units would pay the clean forward for
+        # nothing), in the parent, so a forked pool inherits it
+        # copy-on-write with the payload.
+        replay_usable = config.fault_config.rng_scheme == RNG_COUNTER or any(
+            units[i].ber == 0.0 for i in pending
+        )
+        golden = (
+            self._golden_run(qmodel, x, labels, config)
+            if self.replay and pending and replay_usable
+            else None
+        )
+        payload = (qmodel, x, labels, config, units, golden)
         if pending:
             executor = (
                 self._run_parallel
@@ -381,6 +484,24 @@ class CampaignEngine:
         return self.evaluate_tasks(qmodel, x, labels, tasks, config=config)
 
     # --- internals ---------------------------------------------------------------
+    def _effective_shard(
+        self, n_samples: int, n_seed_units: int, config: CampaignConfig
+    ) -> int | None:
+        """Resolve the sample-shard setting for one batch.
+
+        An explicit integer is used as-is (invalid scheme combinations
+        fail loudly in :meth:`_check_slice_scheme`); ``"auto"`` consults
+        :func:`auto_sample_shard`, and declines to split under the stream
+        RNG scheme, whose faulty points cannot be sliced.
+        """
+        if self.sample_shard is None:
+            return None
+        if self.sample_shard == SAMPLE_SHARD_AUTO:
+            if config.fault_config.rng_scheme != RNG_COUNTER:
+                return None
+            return auto_sample_shard(n_samples, self.workers, n_seed_units)
+        return self.sample_shard
+
     @staticmethod
     def _check_slice_scheme(units: list[TaskSpec], config: CampaignConfig) -> None:
         """Reject sample-sliced faulty units under the stream RNG scheme.
@@ -421,17 +542,14 @@ class CampaignEngine:
             qmodel, task.ber, per_seed, config, task.protection
         )
 
-    def _unit_keys(
+    def _fingerprint(
         self,
         qmodel: QuantizedModel,
         x: np.ndarray,
         labels: np.ndarray,
-        units: list[TaskSpec],
         config: CampaignConfig,
-    ) -> list[str]:
-        """Checkpoint keys for a subtask-granularity unit table."""
-        if self.checkpoint_path is None:
-            return [""] * len(units)
+    ) -> tuple[str, str]:
+        """Memoized (model, data) fingerprints for one evaluation payload."""
         memo = (id(qmodel), id(x), id(labels), config.max_samples)
         cached = self._fingerprints.get(memo)
         if cached is None:
@@ -448,8 +566,51 @@ class CampaignEngine:
                 (qmodel, x, labels),
             )
             self._fingerprints[memo] = cached
-        model_fp, data_fp = cached[0], cached[1]
+        return cached[0], cached[1]
+
+    def _unit_keys(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        units: list[TaskSpec],
+        config: CampaignConfig,
+    ) -> list[str]:
+        """Checkpoint keys for a subtask-granularity unit table."""
+        if self.checkpoint_path is None:
+            return [""] * len(units)
+        model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
         return batch_task_keys(model_fp, data_fp, config, units)
+
+    def _golden_run(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        config: CampaignConfig,
+    ) -> GoldenRun:
+        """Build (or reuse) the golden run for one evaluation payload.
+
+        Keyed by :func:`repro.runtime.hashing.golden_key`, which is
+        invariant across protection plans, BERs, seeds and RNG schemes —
+        one clean forward serves a whole planner run.
+        """
+        model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
+        key = golden_key(model_fp, data_fp, config)
+        cached = self._golden.get(key)
+        if cached is None:
+            trim_x = x if config.max_samples is None else x[: config.max_samples]
+            cached = build_golden_run(
+                qmodel,
+                trim_x,
+                injector_kind=config.injector,
+                fault_config=config.fault_config,
+                batch_size=config.batch_size,
+                key=key,
+            )
+            self._golden.clear()  # bound memory: most recent (model, data) only
+            self._golden[key] = cached
+        return cached
 
     def _report(
         self,
@@ -476,10 +637,10 @@ class CampaignEngine:
         )
 
     def _run_serial(self, payload: tuple, pending: list[int]):
-        qmodel, x, labels, config, tasks = payload
+        qmodel, x, labels, config, tasks, golden = payload
         for index in pending:
             start = time.perf_counter()
-            result = _evaluate_unit(qmodel, x, labels, config, tasks[index])
+            result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
             yield index, result, time.perf_counter() - start
 
     def _run_parallel(self, payload: tuple, pending: list[int]):

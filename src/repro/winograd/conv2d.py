@@ -34,6 +34,36 @@ __all__ = [
     "winograd_conv2d_int",
 ]
 
+#: (subscripts, structural key) -> precomputed np.einsum contraction path.
+#: The integer pipeline evaluates the same handful of contraction shapes
+#: for every batch of every layer of every campaign unit; recomputing the
+#: optimal path each call costs more than some of the small contractions
+#: themselves.  Exactness is unaffected: optimized paths only reassociate
+#: integer sums/products, and int64 tensordot stays int64.
+_EINSUM_PATHS: dict[tuple, list] = {}
+
+
+def _cached_einsum(
+    subscripts: str, *operands: np.ndarray, key: tuple | None = None
+) -> np.ndarray:
+    """``np.einsum`` with a memoized contraction path.
+
+    ``key`` names the contraction's *structure*; callers whose operands
+    carry a batch axis pass shapes with that axis dropped, so the replay
+    executor's variable dirty-subset sizes share one cache entry per
+    layer geometry instead of growing the cache per batch size (a path
+    is a contraction order — valid for any batch extent).  ``None``
+    falls back to the full operand shapes.
+    """
+    if key is None:
+        key = tuple(op.shape for op in operands)
+    cache_key = (subscripts,) + tuple(key)
+    path = _EINSUM_PATHS.get(cache_key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
+        _EINSUM_PATHS[cache_key] = path
+    return np.einsum(subscripts, *operands, optimize=path)
+
 
 def transform_filter_float(weight: np.ndarray, tf: WinogradTransform) -> np.ndarray:
     """Compute ``G g G^T`` for every filter: (K, C, r, r) -> (K, C, t, t)."""
@@ -44,7 +74,7 @@ def transform_filter_float(weight: np.ndarray, tf: WinogradTransform) -> np.ndar
 def transform_filter_int(weight_int: np.ndarray, tf: WinogradTransform) -> np.ndarray:
     """Integer filter transform ``G_int g G_int^T``; scale is ``g_scale**2``."""
     g = tf.g_int
-    out = np.einsum("ij,kcjl,ml->kcim", g, weight_int.astype(np.int64), g)
+    out = _cached_einsum("ij,kcjl,ml->kcim", g, weight_int.astype(np.int64), g)
     return out.astype(np.int64)
 
 
@@ -225,10 +255,16 @@ def winograd_conv2d_int(
     tiles = extract_tiles(xp, grid)
 
     bt = tf.bt_int
-    u = np.einsum("ij,nctjl,ml->nctim", bt, tiles, bt)
+    u = _cached_einsum(
+        "ij,nctjl,ml->nctim", bt, tiles, bt,
+        key=(bt.shape, tiles.shape[1:], bt.shape),
+    )
     m_arr = _channel_reduce(u, np.asarray(v_int, dtype=np.int64))
     at = tf.at_int
-    y_tiles = np.einsum("ui,nktij,vj->nktuv", at, m_arr, at)
+    y_tiles = _cached_einsum(
+        "ui,nktij,vj->nktuv", at, m_arr, at,
+        key=(at.shape, m_arr.shape[1:], at.shape),
+    )
     y = assemble_tiles(y_tiles, grid)
 
     return WinogradConvContext(

@@ -201,3 +201,100 @@ class TestSubtaskGranularResume:
         assert engine.last_stats.computed_units == 0
         assert engine.last_stats.cached_units == len(SEEDS)
         assert batch.to_dict() == run_point(qm, x, y, BER, config=config).to_dict()
+
+
+class TestAutoSampleShard:
+    """sample_shard="auto": fill the pool, never over-split."""
+
+    def counter_config(self, seeds=(0,)):
+        from repro.faultsim import FaultModelConfig
+
+        return CampaignConfig(
+            seeds=seeds,
+            batch_size=12,
+            max_samples=24,
+            fault_config=FaultModelConfig(rng_scheme="counter"),
+        )
+
+    def test_chooser_math(self):
+        from repro.runtime import auto_sample_shard
+
+        # One unit, four workers: 4 slices of ceil(24/4) = 6 samples.
+        assert auto_sample_shard(24, 4, 1) == 6
+        # Two units, eight workers: 4 slices per unit.
+        assert auto_sample_shard(24, 8, 2) == 6
+        # Enough units already — no slicing.
+        assert auto_sample_shard(24, 4, 8) is None
+        assert auto_sample_shard(24, 4, 4) is None
+        # Serial engine or empty batch — no slicing.
+        assert auto_sample_shard(24, 1, 1) is None
+        assert auto_sample_shard(24, 4, 0) is None
+        # Cannot slice finer than one sample.
+        assert auto_sample_shard(5, 16, 1) == 1
+        assert auto_sample_shard(1, 16, 1) is None
+
+    def test_chooser_fills_pool_without_oversplitting(self):
+        from repro.runtime import auto_sample_shard
+
+        for workers in (2, 3, 4, 7, 16):
+            for n_units in (1, 2, 3, 5):
+                for n_samples in (8, 24, 100):
+                    shard = auto_sample_shard(n_samples, workers, n_units)
+                    if shard is None:
+                        assert n_units >= workers or n_samples <= 1
+                        continue
+                    target = -(-workers // n_units)  # slices wanted per unit
+                    slices = -(-n_samples // shard)
+                    # Fills the pool (unless the sample axis is too short
+                    # to split further)...
+                    assert slices * n_units >= workers or shard == 1
+                    # ...with the *smallest achievable* slice count at or
+                    # above the target (uniform slice sizes skip counts),
+                    # re-balanced to the largest size realizing it.
+                    achievable = {
+                        -(-n_samples // s) for s in range(1, n_samples + 1)
+                    }
+                    wanted = min(
+                        (c for c in achievable if c >= target),
+                        default=max(achievable),
+                    )
+                    assert slices == wanted, (workers, n_units, n_samples)
+                    assert shard == -(-n_samples // slices)
+
+    def test_auto_engine_fills_pool_bit_identically(
+        self, tiny_quantized, tiny_eval
+    ):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        config = self.counter_config()
+        serial = run_point(qm, x, y, BER, config=config)
+        engine = CampaignEngine(workers=4, sample_shard="auto")
+        result = engine.run_point(qm, x, y, BER, config=config)
+        assert engine.last_stats.total_units == 4
+        assert result.to_dict() == serial.to_dict()
+
+    def test_auto_declines_under_stream_scheme(self, tiny_quantized, tiny_eval):
+        """Auto never forces the counter requirement: stream batches just
+        run unsliced (an explicit integer shard still errors)."""
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        config = CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24)
+        engine = CampaignEngine(workers=4, sample_shard="auto")
+        serial = run_point(qm, x, y, BER, config=config)
+        result = engine.run_point(qm, x, y, BER, config=config)
+        assert engine.last_stats.total_units == 2  # one per seed, unsliced
+        assert result.to_dict() == serial.to_dict()
+
+    def test_auto_no_split_when_pool_already_full(
+        self, tiny_quantized, tiny_eval
+    ):
+        qm, _ = tiny_quantized
+        x, y = tiny_eval
+        config = self.counter_config(seeds=(0, 1, 2, 3))
+        engine = CampaignEngine(workers=2, sample_shard="auto")
+        engine.run_point(qm, x, y, BER, config=config)
+        assert engine.last_stats.total_units == 4
+
+    def test_invalid_shard_strings_rejected(self):
+        with pytest.raises(ConfigurationError, match="auto"):
+            CampaignEngine(sample_shard="bogus")

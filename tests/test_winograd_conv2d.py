@@ -152,3 +152,43 @@ class TestContextAnnotations:
             )
         for name in ("v_int", "y_int"):
             assert hints[name] is np.ndarray
+
+
+class TestEinsumPathCache:
+    """The integer path's cached contraction paths stay integer-exact."""
+
+    def test_cached_paths_match_unoptimized_einsum(self):
+        from repro.winograd.conv2d import _EINSUM_PATHS
+        from repro.winograd.transforms import get_transform
+
+        rng = np.random.default_rng(3)
+        tf = get_transform(2, 3)
+        x = rng.integers(-500, 500, size=(3, 5, 10, 10)).astype(np.int64)
+        w = rng.integers(-80, 80, size=(7, 5, 3, 3)).astype(np.int64)
+
+        v = transform_filter_int(w, tf)
+        ctx = winograd_conv2d_int(x, v, padding=0, m=2)
+        # The filter transform, input transform and output transform each
+        # memoize one path per operand-shape signature.
+        assert len(_EINSUM_PATHS) >= 3
+
+        g, bt = tf.g_int, tf.bt_int
+        v_ref = np.einsum("ij,kcjl,ml->kcim", g, w, g, optimize=False)
+        np.testing.assert_array_equal(v, v_ref)
+        grid = TileGrid(out_h=8, out_w=8, m=2, r=3)
+        tiles = extract_tiles(x, grid)
+        u_ref = np.einsum("ij,nctjl,ml->nctim", bt, tiles, bt, optimize=False)
+        np.testing.assert_array_equal(ctx.u_int, u_ref)
+
+    def test_repeated_shapes_reuse_one_path(self):
+        from repro.winograd.conv2d import _EINSUM_PATHS
+        from repro.winograd.transforms import get_transform
+
+        tf = get_transform(2, 3)
+        rng = np.random.default_rng(4)
+        w = rng.integers(-10, 10, size=(4, 3, 3, 3)).astype(np.int64)
+        before = len(_EINSUM_PATHS)
+        transform_filter_int(w, tf)
+        after_first = len(_EINSUM_PATHS)
+        transform_filter_int(w, tf)
+        assert len(_EINSUM_PATHS) == after_first >= before
