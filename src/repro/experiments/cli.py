@@ -15,11 +15,13 @@ campaign from its checkpoint::
 sweeps of figs 1–2/6–7 and the protected-evaluation batches behind figs
 3–5 (layer vulnerability, operation-type sensitivity, TMR planning) all
 execute through the same :class:`repro.runtime.CampaignEngine`.
-``--speculative`` applies to Fig. 5 only: the TMR planner evaluates
-several candidate protection plans per iteration concurrently and keeps
-the first (in the paper's deterministic growth order) that meets the
-accuracy goal — results identical to the serial heuristic, wall-clock
-much lower on multi-core machines (see ``docs/RUNTIME.md``).
+``--speculative`` applies to the planner figures (fig5 and portfolio):
+the planner evaluates several candidate protection plans per iteration
+concurrently and keeps the first (in the deterministic growth order) that
+meets the accuracy goal — results identical to the serial heuristic,
+wall-clock much lower on multi-core machines (see ``docs/RUNTIME.md``).
+``--protection {tmr,abft,portfolio,all}`` selects which strategies the
+``portfolio`` figure compares.
 
 ``--shard-samples N`` additionally splits every (BER, seed) evaluation
 into N-sample slices, filling the pool even when a figure evaluates a
@@ -42,7 +44,7 @@ import argparse
 import dataclasses
 import sys
 
-from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig_portfolio
 from repro.experiments.common import FULL, QUICK, make_engine
 from repro.runtime import stream_reporter
 
@@ -54,6 +56,7 @@ _FIGURES = {
     "fig5": fig5,
     "fig6": fig6,
     "fig7": fig7,
+    "portfolio": fig_portfolio,
 }
 
 
@@ -117,9 +120,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--speculative",
         action="store_true",
-        help="fig5 only: evaluate several TMR-planner candidates per "
+        help="fig5/portfolio only: evaluate several planner candidates per "
         "iteration concurrently (result-identical to the paper's serial "
         "heuristic; pairs with --workers)",
+    )
+    parser.add_argument(
+        "--protection",
+        choices=("tmr", "abft", "portfolio", "all"),
+        default="all",
+        help="portfolio figure only: which protection strategies to "
+        "compare — whole-layer TMR, checksum ABFT, the mixed per-layer "
+        "portfolio, or all three (default: all)",
     )
     parser.add_argument(
         "--shard-samples",
@@ -191,7 +202,14 @@ def main(argv: list[str] | None = None) -> int:
             print()
             continue
         module = _FIGURES[name]
-        extra = {"speculative": args.speculative} if name == "fig5" else {}
+        extra = {}
+        if name == "fig5":
+            extra = {"speculative": args.speculative}
+        elif name == "portfolio":
+            extra = {
+                "speculative": args.speculative,
+                "protection": args.protection,
+            }
         payload = module.run(profile=profile, engine=engine, **extra)
         print(module.format_report(payload))
         print()

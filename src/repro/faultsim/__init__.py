@@ -7,7 +7,12 @@ from repro.faultsim.model import (
     RNG_COUNTER,
     RNG_STREAM,
 )
-from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.protection import (
+    ProtectionPlan,
+    SCHEME_ABFT,
+    SCHEME_NONE,
+    SCHEME_TMR,
+)
 from repro.faultsim.sites import (
     category_exposure_bits,
     expected_faults_per_image,
@@ -51,6 +56,9 @@ __all__ = [
     "RNG_STREAM",
     "RNG_COUNTER",
     "ProtectionPlan",
+    "SCHEME_NONE",
+    "SCHEME_ABFT",
+    "SCHEME_TMR",
     "category_exposure_bits",
     "layer_exposure",
     "model_exposure",

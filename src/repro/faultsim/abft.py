@@ -1,12 +1,12 @@
-"""Algorithm-based fault tolerance (ABFT) checksum detection baseline.
+"""Algorithm-based fault tolerance (ABFT): checksum detection + correction.
 
 The paper positions Winograd's inherent tolerance against conventional
 protection schemes; its related work covers checksum-based ABFT for
 convolutions (Kosaian & Rashmi, 2021) and Sanity-Check's spatial checksums
-(Ozen & Orailoglu, 2019).  This module implements the classic
-output-channel checksum for the quantized GEMM/convolution layers, giving
-the library a detection-coverage baseline to compare protection approaches
-against:
+(Ozen & Orailoglu, 2019), and the journal extension (arXiv 2308.08230)
+makes ABFT a full competitor in the protection-cost tradeoff.  This module
+implements the classic output-channel checksum for the quantized
+GEMM/convolution layers:
 
 For a convolution ``y[k] = sum_{c,r,s} w[k,c,r,s] * x[c,r,s] + b[k]`` the
 channel-summed filter ``w_sum = sum_k w[k]`` satisfies, for every output
@@ -14,11 +14,27 @@ position, ``sum_k y[k] = conv(x, w_sum) + sum_k b[k]`` *exactly* in integer
 arithmetic.  Any operation-level fault that perturbs one output's
 accumulator breaks the identity at that position, so comparing the two
 sides detects (and spatially locates) faults with one extra output
-channel's worth of compute.
+channel's worth of compute.  Both sides are computed with pure int64
+contractions (:func:`repro.winograd.conv2d._cached_einsum` /
+``_channel_reduce``) — a float64 path would silently round past 2^53 and
+flag *clean* positions, breaking the exactness contract in precisely the
+int64-accumulator regime the campaign operates in.
+
+:class:`AbftChecker` plays two roles:
+
+* **coverage baseline** — ``AbftChecker(inner)`` checks every layer,
+  detection-only, and :func:`detection_coverage` summarizes the report;
+* **engine-grade protection** — ``AbftChecker(inner, layers=..,
+  correct=True)`` checks only the plan's ABFT layers and *repairs* flagged
+  accumulator positions from a pre-injection snapshot (detect ⇒ recompute).
+  It exposes merged ``event_counts`` and forwards the golden-run replay
+  protocol to the inner injector, so ABFT-protected campaign points run
+  through the pool, sample sharding and the replay executor unchanged.
 
 Limitations mirror real ABFT: faults that cancel within a checksum group
-escape detection, and the checksum computation itself is assumed protected
-(it would otherwise need its own redundancy).
+escape detection, post-requantization neuron flips are outside the
+accumulator checksum's protection domain, and the checksum computation
+itself is assumed protected (it would otherwise need its own redundancy).
 """
 
 from __future__ import annotations
@@ -30,8 +46,8 @@ import numpy as np
 from repro.errors import FaultModelError
 from repro.quantized.interface import Injector
 from repro.quantized.qmodel import QuantizedModel
-from repro.quantized.qops import QConvDirect, QConvWinograd, QLinear
-from repro.utils.im2col import im2col
+from repro.quantized.qops import QConvDirect
+from repro.winograd.conv2d import _cached_einsum
 
 __all__ = ["AbftReport", "AbftChecker"]
 
@@ -62,7 +78,7 @@ class AbftReport:
 
 
 class AbftChecker(Injector):
-    """Checksum-verifying injector wrapper.
+    """Checksum-verifying (and optionally correcting) injector wrapper.
 
     Wraps an inner injector (or none, for false-positive testing): after the
     inner injector perturbs a layer's accumulator, the checker recomputes
@@ -71,57 +87,177 @@ class AbftChecker(Injector):
         checker = AbftChecker(OperationLevelInjector(ber, seed=0))
         qmodel.forward(x, injector=checker)
         report = checker.report()
+
+    Parameters
+    ----------
+    inner:
+        Injector whose faults are being checked; ``None`` runs the checker
+        against a clean forward (false-positive measurement).
+    layers:
+        Names of the layers to check.  ``None`` (the default) checks every
+        injectable layer — the coverage-baseline mode.  A campaign plan's
+        :attr:`~repro.faultsim.protection.ProtectionPlan.abft_layers`
+        restricts checking (and correction cost) to the protected subset;
+        unchecked layers pass straight through to ``inner``.
+    correct:
+        When True, every output position whose checksum mismatches has
+        *all* of its output channels restored from a pre-injection
+        snapshot of the accumulator — the standard ABFT detect-⇒-recompute
+        response.  Faults that cancel within a checksum group still
+        escape.
+
+    The checker is engine-compatible: :attr:`event_counts` merges the
+    inner injector's per-category counts with ``abft_detected`` /
+    ``abft_corrected``, and the replay protocol (:attr:`replay_ready`,
+    :meth:`set_replay_rows`, :meth:`replay_struck`) forwards to ``inner``
+    so golden-run replay drives struck-sample discovery exactly as it
+    would unwrapped.
     """
 
-    def __init__(self, inner: Injector | None = None):
+    def __init__(
+        self,
+        inner: Injector | None = None,
+        layers: frozenset[str] | None = None,
+        correct: bool = False,
+    ):
         self.inner = inner
+        self.layers = frozenset(layers) if layers is not None else None
+        self.correct = bool(correct)
         self._detections: dict[str, int] = {}
         self._checked: dict[str, int] = {}
+        self._events: dict[str, int] = {}
 
     # --- bookkeeping -----------------------------------------------------------
     def report(self) -> AbftReport:
         """Detection summary accumulated since construction."""
         return AbftReport(dict(self._detections), dict(self._checked))
 
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """Inner injector's fault events merged with ABFT outcome events.
+
+        ``abft_detected`` counts flagged output positions and
+        ``abft_corrected`` the subset restored from the clean snapshot;
+        the category names never collide with the injectors' site
+        categories, so ``sum(event_counts.values())`` still includes every
+        injected fault.
+        """
+        merged: dict[str, int] = {}
+        if self.inner is not None and hasattr(self.inner, "event_counts"):
+            merged.update(self.inner.event_counts)
+        for category, count in self._events.items():
+            merged[category] = merged.get(category, 0) + count
+        return merged
+
     def _record(self, layer_name: str, mismatches: int, checked: int) -> None:
+        """Accumulate per-layer detection/checked counters."""
         self._detections[layer_name] = self._detections.get(layer_name, 0) + mismatches
         self._checked[layer_name] = self._checked.get(layer_name, 0) + checked
 
+    def _active(self, layer) -> bool:
+        """Whether this layer is in the checked set."""
+        return self.layers is None or layer.name in self.layers
+
+    # --- replay protocol --------------------------------------------------------
+    @property
+    def replay_ready(self) -> bool:
+        """True when the inner injector supports golden-run replay."""
+        return (
+            self.inner is not None
+            and getattr(self.inner, "replay_ready", False)
+        )
+
+    def set_replay_rows(self, rows) -> None:
+        """Forward the replay row restriction to the inner injector."""
+        if self.inner is None:
+            raise FaultModelError("AbftChecker has no inner injector to replay")
+        self.inner.set_replay_rows(rows)
+
+    def replay_struck(self, layer_name, sites, start, stop):
+        """Forward struck-sample discovery to the inner injector."""
+        if self.inner is None:
+            raise FaultModelError("AbftChecker has no inner injector to replay")
+        return self.inner.replay_struck(layer_name, sites, start, stop)
+
     # --- injector protocol ------------------------------------------------------
     def begin_inference(self, batch_size: int) -> None:
+        """Forward the batch boundary to the inner injector."""
         if self.inner is not None:
             self.inner.begin_inference(batch_size)
 
     def visit_direct(self, layer, x_int, cols, acc):
-        clean_checksum = self._conv_checksum(layer, cols, acc.shape)
+        """Check (and optionally repair) a direct convolution accumulator."""
+        if not self._active(layer):
+            if self.inner is not None:
+                self.inner.visit_direct(layer, x_int, cols, acc)
+            return
+        expected = self._conv_checksum(layer, cols, acc.shape)
+        snapshot = acc.copy() if self.correct else None
         if self.inner is not None:
             self.inner.visit_direct(layer, x_int, cols, acc)
-        self._verify(layer, acc.sum(axis=1), clean_checksum)
+        self._check(layer, acc, acc.sum(axis=1), expected, snapshot)
 
     def visit_linear(self, layer, x_int, acc):
-        w_sum = layer.weight_int.sum(axis=0).astype(np.float64)
-        checksum = np.rint(x_int.astype(np.float64) @ w_sum).astype(np.int64)
-        checksum += int(layer.bias_acc.sum())
+        """Check (and optionally repair) a linear layer accumulator."""
+        if not self._active(layer):
+            if self.inner is not None:
+                self.inner.visit_linear(layer, x_int, acc)
+            return
+        # Pure int64 contraction: the float64 path this replaces rounded
+        # past 2^53 and false-detected on clean accumulators.
+        w_sum = layer.weight_int.sum(axis=0, dtype=np.int64)
+        x64 = np.ascontiguousarray(x_int, dtype=np.int64)
+        expected = _cached_einsum(
+            "nr,r->n", x64, w_sum, key=(x64.shape[1:], w_sum.shape)
+        )
+        expected = expected + int(layer.bias_acc.sum())
+        snapshot = acc.copy() if self.correct else None
         if self.inner is not None:
             self.inner.visit_linear(layer, x_int, acc)
-        self._verify(layer, acc.sum(axis=1), checksum.reshape(acc.shape[0]))
+        self._check(layer, acc, acc.sum(axis=1), expected, snapshot)
 
     def visit_winograd(self, layer, sub_contexts, y_scaled):
-        # Checksum in the scaled output domain: sum the transformed filters
-        # over output channels and rerun the (cheap) single-channel pipeline.
+        """Check (and optionally repair) a Winograd scaled-output tensor.
+
+        The checksum lives in the scaled output domain: sum the transformed
+        filters over output channels and rerun the (cheap) single-channel
+        pipeline per sub-convolution.
+        """
+        if not self._active(layer):
+            if self.inner is not None:
+                self.inner.visit_winograd(layer, sub_contexts, y_scaled)
+            return
+        if not sub_contexts:
+            raise FaultModelError(
+                f"ABFT checksum for '{layer.name}' needs at least one "
+                "Winograd sub-convolution context; got none"
+            )
         checksum = None
         for spec, ctx in sub_contexts:
+            if ctx.u_int is None:
+                raise FaultModelError(
+                    f"ABFT checksum for '{layer.name}' needs the transformed "
+                    "input (u_int=None): run the forward with an injector "
+                    "whose needs_intermediates is True"
+                )
             v_sum = ctx.v_int.sum(axis=0, keepdims=True)  # (1, C, t, t)
             part = self._winograd_checksum(ctx, v_sum)
             checksum = part if checksum is None else checksum + part
         h, w = y_scaled.shape[2], y_scaled.shape[3]
         checksum = checksum[:, 0, :h, :w]
-        checksum += int(layer.bias_acc.sum()) * layer.transform.output_scale_2d
+        checksum = checksum + int(layer.bias_acc.sum()) * layer.transform.output_scale_2d
+        snapshot = y_scaled.copy() if self.correct else None
         if self.inner is not None:
             self.inner.visit_winograd(layer, sub_contexts, y_scaled)
-        self._verify(layer, y_scaled.sum(axis=1), checksum)
+        self._check(layer, y_scaled, y_scaled.sum(axis=1), checksum, snapshot)
 
     def visit_output(self, layer, y_int):
+        """Pass the requantized output through the inner injector.
+
+        Post-requantization neuron flips happen *after* the accumulator
+        checksum, so they are outside ABFT's protection domain — the
+        checker deliberately does not re-verify here.
+        """
         if self.inner is not None:
             return self.inner.visit_output(layer, y_int)
         return y_int
@@ -129,11 +265,16 @@ class AbftChecker(Injector):
     # --- checksum kernels --------------------------------------------------------
     @staticmethod
     def _conv_checksum(layer: QConvDirect, cols: np.ndarray, acc_shape) -> np.ndarray:
-        w_sum = layer.weight_int.reshape(layer.weight_int.shape[0], -1).sum(axis=0)
-        checksum = np.rint(
-            np.einsum("r,nrp->np", w_sum.astype(np.float64), cols.astype(np.float64))
-        ).astype(np.int64)
-        checksum += int(layer.bias_acc.sum())
+        """Exact int64 channel checksum of a direct convolution batch."""
+        w_sum = (
+            layer.weight_int.reshape(layer.weight_int.shape[0], -1)
+            .sum(axis=0, dtype=np.int64)
+        )
+        cols64 = np.ascontiguousarray(cols, dtype=np.int64)
+        checksum = _cached_einsum(
+            "r,nrp->np", w_sum, cols64, key=(w_sum.shape, cols64.shape[1:])
+        )
+        checksum = checksum + int(layer.bias_acc.sum())
         n = acc_shape[0]
         return checksum.reshape(n, acc_shape[2], acc_shape[3])
 
@@ -149,14 +290,38 @@ class AbftChecker(Injector):
         y_tiles = np.einsum("ui,nktij,vj->nktuv", at, m_arr, at)
         return assemble_tiles(y_tiles, ctx.grid)
 
-    def _verify(self, layer, actual: np.ndarray, expected: np.ndarray) -> None:
+    def _check(self, layer, acc, actual, expected, snapshot) -> None:
+        """Compare channel sums against the checksum; repair on mismatch.
+
+        ``actual`` is the post-injection channel sum (output-channel axis
+        already reduced), ``expected`` the clean-side checksum.  With a
+        ``snapshot`` (correction mode), every flagged position has all of
+        its output channels restored from the pre-injection accumulator.
+        """
         if actual.shape != expected.shape:
             raise FaultModelError(
                 f"ABFT shape mismatch on '{layer.name}': "
                 f"{actual.shape} vs {expected.shape}"
             )
-        mismatches = int(np.count_nonzero(actual != expected))
+        mismatch = actual != expected
+        mismatches = int(np.count_nonzero(mismatch))
         self._record(layer.name, mismatches, actual.size)
+        if not mismatches:
+            return
+        self._events["abft_detected"] = (
+            self._events.get("abft_detected", 0) + mismatches
+        )
+        if snapshot is None:
+            return
+        if acc.ndim == 2:  # linear: (N, F), mismatch over (N,)
+            rows = np.nonzero(mismatch)[0]
+            acc[rows] = snapshot[rows]
+        else:  # conv: (N, K, H, W), mismatch over (N, H, W)
+            n_idx, h_idx, w_idx = np.nonzero(mismatch)
+            acc[n_idx, :, h_idx, w_idx] = snapshot[n_idx, :, h_idx, w_idx]
+        self._events["abft_corrected"] = (
+            self._events.get("abft_corrected", 0) + mismatches
+        )
 
 
 def detection_coverage(

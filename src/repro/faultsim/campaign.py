@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faultsim.abft import AbftChecker
 from repro.faultsim.model import FaultModelConfig, RNG_COUNTER
 from repro.faultsim.neuron_level import NeuronLevelInjector
 from repro.faultsim.operation_level import OperationLevelInjector
@@ -183,18 +184,35 @@ class SampleSliceResult:
 def _make_injector(
     config: CampaignConfig, ber: float, seed: int, protection, sample_base: int = 0
 ):
+    """Build the injector for one evaluation unit.
+
+    An operation-level campaign whose plan marks ABFT layers gets its base
+    injector wrapped in a correcting :class:`~repro.faultsim.abft.AbftChecker`
+    restricted to those layers — faults are injected in full (ABFT layers
+    keep their TMR fractions at 0) and then detected/repaired at the
+    accumulator.  Neuron-level faults flip bits *after* requantization,
+    outside the accumulator checksum's protection domain, so the neuron
+    injector is never wrapped (a wrap would silently change nothing but
+    cost a checksum per layer).
+    """
     if config.injector == INJECTOR_NEURON:
         return NeuronLevelInjector(
             ber, seed=seed, config=config.fault_config, sample_base=sample_base
         )
     if config.injector == INJECTOR_OPERATION:
-        return OperationLevelInjector(
+        injector = OperationLevelInjector(
             ber,
             seed=seed,
             config=config.fault_config,
             protection=protection,
             sample_base=sample_base,
         )
+        abft_layers = (
+            protection.abft_layers if protection is not None else frozenset()
+        )
+        if abft_layers:
+            return AbftChecker(injector, layers=abft_layers, correct=True)
+        return injector
     raise ValueError(f"unknown injector kind '{config.injector}'")
 
 

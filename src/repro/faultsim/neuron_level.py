@@ -67,6 +67,7 @@ class NeuronLevelInjector(ReplayHooks, Injector):
             self._sampler.begin_batch(batch_size)
 
     def visit_output(self, layer, y_int: np.ndarray) -> np.ndarray:
+        """Flip bits of requantized output neurons (post-accumulator)."""
         width = layer.out_fmt.width
         exposure = 1 if self.config.convention is BerConvention.PER_OP else width
         n = y_int.shape[0]

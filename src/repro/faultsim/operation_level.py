@@ -269,6 +269,7 @@ class OperationLevelInjector(ReplayHooks, Injector):
 
     # ------------------------------------------------------------- direct conv
     def visit_direct(self, layer, x_int, cols, acc):
+        """Inject multiplication and addition faults into a direct-conv GEMM."""
         n = acc.shape[0]
         k_out = acc.shape[1]
         spatial = acc.shape[2] * acc.shape[3] if acc.ndim == 4 else 1
@@ -284,6 +285,7 @@ class OperationLevelInjector(ReplayHooks, Injector):
         )
 
     def visit_linear(self, layer, x_int, acc):
+        """Inject faults into a linear layer (a GEMM with one spatial site)."""
         n, k_out = acc.shape
         cols = x_int[:, :, None]  # (N, F_in, 1) -> GEMM layout with spatial=1
         weight2d = layer.weight_int
@@ -346,6 +348,7 @@ class OperationLevelInjector(ReplayHooks, Injector):
 
     # ------------------------------------------------------------- winograd conv
     def visit_winograd(self, layer, sub_contexts, y_scaled):
+        """Inject faults into every stage of a Winograd convolution."""
         n, k_out, out_h, out_w = y_scaled.shape
         tf = layer.transform
         at = tf.at_int.astype(np.int64)  # (m, t)

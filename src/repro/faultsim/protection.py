@@ -15,6 +15,15 @@ Poisson thinning: the effective event rate becomes ``lambda * (1 - rho)``.
 This realizes the paper's "randomly chosen operations" TMR at zero
 bookkeeping cost and is what makes the approach implementable "efficiently
 on various computing engines".
+
+The journal extension (arXiv 2308.08230) compares TMR against checksum
+ABFT, so a plan additionally carries a per-layer *scheme*: ``"tmr"``
+(fractional replication, realized by the Poisson thinning above),
+``"abft"`` (the layer runs under an output-channel checksum that detects
+and corrects accumulator faults — fractions stay 0, faults are injected
+in full and then repaired), or ``"none"``.  Scheme-free plans are exactly
+the legacy TMR-only plans and keep their canonical form — and therefore
+their checkpoint keys — unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +33,21 @@ from dataclasses import dataclass, field
 from repro.errors import FaultModelError
 from repro.winograd.opcount import ADD_CATEGORIES, ALL_CATEGORIES, MUL_CATEGORIES
 
-__all__ = ["ProtectionPlan"]
+__all__ = [
+    "ProtectionPlan",
+    "SCHEME_NONE",
+    "SCHEME_ABFT",
+    "SCHEME_TMR",
+]
+
+#: No per-layer protection scheme (the default for unlisted layers).
+SCHEME_NONE = "none"
+#: Output-channel checksum ABFT (detect + correct accumulator faults).
+SCHEME_ABFT = "abft"
+#: Fractional triple-modular redundancy (Poisson-thinned injection).
+SCHEME_TMR = "tmr"
+
+_SCHEMES = (SCHEME_NONE, SCHEME_ABFT, SCHEME_TMR)
 
 
 @dataclass
@@ -33,9 +56,16 @@ class ProtectionPlan:
 
     Unlisted pairs default to 0 (unprotected).  The plan is mutable — the
     TMR planner grows it iteratively.
+
+    ``schemes`` names the protection *mechanism* per layer (``"abft"`` /
+    ``"tmr"``); unlisted layers default to ``"none"``.  The fractions and
+    the scheme map are orthogonal: an ABFT layer keeps its fractions at 0
+    (full injection, then checksum correction), while a TMR layer's
+    fractions say how much of it is replicated.
     """
 
     fractions: dict[tuple[str, str], float] = field(default_factory=dict)
+    schemes: dict[str, str] = field(default_factory=dict)
 
     # --- construction helpers ------------------------------------------------
     @staticmethod
@@ -82,10 +112,54 @@ class ProtectionPlan:
         """Protected fraction for a (layer, category), default 0."""
         return self.fractions.get((layer, category), 0.0)
 
+    def set_scheme(self, layer: str, scheme: str) -> None:
+        """Assign a layer's protection scheme (``none``/``abft``/``tmr``).
+
+        Setting ``"none"`` removes the entry, so a plan round-tripped
+        through ``set_scheme(layer, "none")`` stays canonical (and keeps
+        the legacy scheme-free :meth:`cache_key`).
+        """
+        if scheme not in _SCHEMES:
+            raise FaultModelError(
+                f"unknown protection scheme '{scheme}' (expected one of {_SCHEMES})"
+            )
+        if scheme == SCHEME_NONE:
+            self.schemes.pop(layer, None)
+        else:
+            self.schemes[layer] = scheme
+
+    def scheme(self, layer: str) -> str:
+        """Protection scheme assigned to a layer, default ``"none"``."""
+        return self.schemes.get(layer, SCHEME_NONE)
+
+    @property
+    def abft_layers(self) -> frozenset[str]:
+        """Names of layers protected by the ABFT checksum scheme."""
+        return frozenset(
+            layer for layer, scheme in self.schemes.items() if scheme == SCHEME_ABFT
+        )
+
     def copy(self) -> "ProtectionPlan":
         """Independent copy (the planner mutates candidates)."""
-        return ProtectionPlan(dict(self.fractions))
+        return ProtectionPlan(dict(self.fractions), dict(self.schemes))
 
     def cache_key(self) -> tuple:
-        """Hashable canonical form for memoized accuracy evaluations."""
-        return tuple(sorted((k, round(v, 6)) for k, v in self.fractions.items() if v))
+        """Hashable canonical form for memoized accuracy evaluations.
+
+        Scheme-free plans produce exactly the pre-scheme tuple, so legacy
+        TMR-only checkpoints stay valid; any non-``none`` scheme appends
+        sorted ``("scheme", layer, name)`` entries, binding the scheme
+        into task keys derived from this form.
+        """
+        base = tuple(
+            sorted((k, round(v, 6)) for k, v in self.fractions.items() if v)
+        )
+        if not self.schemes:
+            return base
+        return base + tuple(
+            sorted(
+                ("scheme", layer, scheme)
+                for layer, scheme in self.schemes.items()
+                if scheme != SCHEME_NONE
+            )
+        )

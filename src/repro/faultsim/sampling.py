@@ -133,6 +133,7 @@ class StreamEvents(SiteEvents):
         self._count = len(img)
 
     def bits(self, width) -> np.ndarray:
+        """Register bit per event, drawn sequentially from the stream RNG."""
         if np.ndim(width) != 0:
             raise FaultModelError(
                 "per-event register widths require the counter RNG scheme"
@@ -140,6 +141,7 @@ class StreamEvents(SiteEvents):
         return self._rng.integers(0, int(width), size=self._count)
 
     def signs(self) -> np.ndarray:
+        """±1 sign per event, drawn sequentially from the stream RNG."""
         return self._rng.integers(0, 2, size=self._count).astype(np.int64) * 2 - 1
 
 

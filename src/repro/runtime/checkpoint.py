@@ -68,8 +68,16 @@ def _parse_file(
     Raises :class:`CheckpointError` when the file is unrecoverable (no
     readable header and not a legacy document); individual damaged point
     lines are tolerated and reported by number.  ``legacy`` is True when
-    the file used the version-1 single-document format.
+    the file used the version-1 single-document format — or was empty, so
+    the next flush rewrites it with a proper v2 header.
     """
+    if not text.strip():
+        # A zero-byte (or whitespace-only) file — e.g. `touch`-created, or
+        # a crash before the header write — is a fresh store, not a broken
+        # one.  The legacy flag forces the next flush to compact and write
+        # a clean v2 header (appending to a headerless file would corrupt
+        # it).
+        return {}, [], True
     lines = text.splitlines()
     header = None
     if lines:

@@ -190,9 +190,13 @@ def task_key(
     The per-task protection plan enters through the campaign fingerprint
     via :meth:`ProtectionPlan.cache_key`, whose canonical (sorted,
     zero-free) form makes the key independent of fraction-map insertion
-    order while any fraction *value* change produces a new key.  A task
-    evaluated through :func:`run_sweep`'s shared-plan path and the same
-    evaluation reached as an explicit task therefore share one key.
+    order while any fraction *value* change produces a new key.  Per-layer
+    protection *schemes* (``abft``/``tmr``) are part of that canonical
+    form, so an ABFT-protected point never shares a key with the same
+    point unprotected — while legacy scheme-free plans keep their
+    pre-scheme keys bit-for-bit.  A task evaluated through
+    :func:`run_sweep`'s shared-plan path and the same evaluation reached
+    as an explicit task therefore share one key.
     """
     return point_key(
         model_fp,

@@ -12,9 +12,18 @@ growth chain concurrently per iteration — result-identical, documented in
 :mod:`repro.tmr.planner`.
 """
 
-from repro.tmr.cost import OpCostModel, full_protection_energy, tmr_overhead_energy
-from repro.tmr.planner import TmrPlanResult, plan_tmr
+from repro.tmr.cost import (
+    OpCostModel,
+    abft_overhead_energy,
+    full_protection_energy,
+    portfolio_overhead_energy,
+    tmr_overhead_energy,
+)
+from repro.tmr.planner import TmrPlanResult, plan_portfolio, plan_tmr
 from repro.tmr.schemes import (
+    PROTECTION_ABFT,
+    PROTECTION_PORTFOLIO,
+    PROTECTION_TMR,
     SCHEME_ST,
     SCHEME_WG_W_AFT,
     SCHEME_WG_WO_AFT,
@@ -22,21 +31,29 @@ from repro.tmr.schemes import (
     average_reduction,
     map_plan_to_winograd,
     normalized_overheads,
+    run_protection_portfolio,
     run_tmr_schemes,
 )
 
 __all__ = [
     "OpCostModel",
     "tmr_overhead_energy",
+    "abft_overhead_energy",
+    "portfolio_overhead_energy",
     "full_protection_energy",
     "TmrPlanResult",
     "plan_tmr",
+    "plan_portfolio",
     "SCHEME_ST",
     "SCHEME_WG_WO_AFT",
     "SCHEME_WG_W_AFT",
+    "PROTECTION_TMR",
+    "PROTECTION_ABFT",
+    "PROTECTION_PORTFOLIO",
     "SchemeCurve",
     "map_plan_to_winograd",
     "run_tmr_schemes",
+    "run_protection_portfolio",
     "normalized_overheads",
     "average_reduction",
 ]

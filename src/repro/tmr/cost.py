@@ -16,7 +16,13 @@ from repro.faultsim.protection import ProtectionPlan
 from repro.quantized.qmodel import QuantizedModel
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
-__all__ = ["OpCostModel", "tmr_overhead_energy", "full_protection_energy"]
+__all__ = [
+    "OpCostModel",
+    "tmr_overhead_energy",
+    "abft_overhead_energy",
+    "portfolio_overhead_energy",
+    "full_protection_energy",
+]
 
 #: Horowitz ISSCC'14, 45 nm: (width -> pJ).
 _ADD_ENERGY_PJ = {8: 0.03, 16: 0.05, 32: 0.1}
@@ -87,6 +93,56 @@ def tmr_overhead_energy(
             if rho > 0:
                 total += rho * n_ops * cost_model.category_energy(category) * extra
     return total
+
+
+def abft_overhead_energy(
+    qmodel: QuantizedModel,
+    layers,
+    cost_model: OpCostModel | None = None,
+) -> float:
+    """Extra energy (pJ/inference) of output-channel checksum ABFT.
+
+    ``layers`` names the checked layers.  Per layer the checksum side
+    costs one extra output channel's worth of the layer's arithmetic (the
+    channel-summed filter is applied once — ``n_ops / k_out`` operations
+    per category), and verification costs ``k_out`` additions per checked
+    output position: ``k_out - 1`` for the output-side channel sum plus
+    one for the comparison.  This is the classic ABFT cost shape — orders
+    of magnitude below whole-layer TMR for wide layers, which is exactly
+    the tradeoff the portfolio planner exploits.
+    """
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    names = set(layers)
+    total = 0.0
+    for layer in qmodel.injectable_layers():
+        if layer.name not in names:
+            continue
+        k_out = int(layer.weight_int.shape[0])
+        for category, n_ops in layer.op_counts.by_category().items():
+            if n_ops:
+                total += (n_ops / k_out) * cost_model.category_energy(category)
+        positions = 1
+        for dim in tuple(layer.out_shape)[1:]:
+            positions *= int(dim)
+        total += positions * k_out * cost_model.add_energy()
+    return total
+
+
+def portfolio_overhead_energy(
+    qmodel: QuantizedModel,
+    plan: ProtectionPlan,
+    cost_model: OpCostModel | None = None,
+) -> float:
+    """Overhead of a mixed-scheme plan: TMR fractions plus ABFT layers.
+
+    The two parts are additive because they are disjoint by construction —
+    a layer under the ABFT scheme keeps its TMR fractions at 0.  For a
+    scheme-free plan this reduces exactly to :func:`tmr_overhead_energy`.
+    """
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    return tmr_overhead_energy(qmodel, plan, cost_model) + abft_overhead_energy(
+        qmodel, plan.abft_layers, cost_model
+    )
 
 
 def full_protection_energy(

@@ -54,6 +54,19 @@ prefix* of the predetermined chain a round evaluates — never the chain
 itself — so adaptivity is result-identical too; the realized
 evaluation/discard counts are recorded on
 :attr:`TmrPlanResult.discarded_evaluations` and logged.
+
+Portfolio planning
+------------------
+The journal extension (arXiv 2308.08230) widens the choice from "how much
+TMR" to "which scheme per layer": :func:`plan_portfolio` grows a plan by
+whole-layer scheme upgrades along the ladder none → ABFT → TMR, picking at
+each step the most *cost-efficient* upgrade (vulnerability × coverage gain
+per unit overhead energy).  The increment rule is, like
+:func:`_next_increment`, independent of measured accuracy — the candidate
+chain is predetermined from the vulnerability ranking and the cost model
+alone — so the same speculative/adaptive machinery (and the engine's
+shared golden-run cache) applies verbatim to the portfolio's larger
+per-step candidate space.
 """
 
 from __future__ import annotations
@@ -66,14 +79,24 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faultsim.campaign import CampaignConfig
-from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.protection import (
+    ProtectionPlan,
+    SCHEME_ABFT,
+    SCHEME_NONE,
+    SCHEME_TMR,
+)
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.engine import CampaignEngine
 from repro.runtime.tasks import TaskSpec
-from repro.tmr.cost import OpCostModel, tmr_overhead_energy
+from repro.tmr.cost import (
+    OpCostModel,
+    abft_overhead_energy,
+    portfolio_overhead_energy,
+    tmr_overhead_energy,
+)
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
-__all__ = ["TmrPlanResult", "plan_tmr"]
+__all__ = ["TmrPlanResult", "plan_tmr", "plan_portfolio"]
 
 _LOG = logging.getLogger(__name__)
 
@@ -89,7 +112,8 @@ class TmrPlanResult:
     achieved_accuracy:
         Mean accuracy of ``plan`` at ``ber`` (the last history entry).
     overhead_energy:
-        TMR energy overhead of ``plan`` under the run's cost model.
+        Energy overhead of ``plan`` under the run's cost model — TMR
+        fractions plus, for portfolio plans, the ABFT checksum cost.
     target_accuracy:
         The accuracy goal the planner grew towards.
     ber:
@@ -120,8 +144,13 @@ class TmrPlanResult:
     discarded_evaluations: int = 0
 
     def to_dict(self) -> dict:
-        """JSON-serializable form."""
-        return {
+        """JSON-serializable form.
+
+        Scheme-free (legacy TMR) plans emit exactly the historical
+        payload; plans carrying per-layer schemes add a ``"schemes"``
+        map.
+        """
+        payload = {
             "target_accuracy": self.target_accuracy,
             "achieved_accuracy": self.achieved_accuracy,
             "overhead_energy": self.overhead_energy,
@@ -134,6 +163,9 @@ class TmrPlanResult:
                 if frac > 0
             },
         }
+        if self.plan.schemes:
+            payload["schemes"] = dict(sorted(self.plan.schemes.items()))
+        return payload
 
 
 def _layer_categories(layer, mul_first: bool) -> list[str]:
@@ -169,25 +201,24 @@ def _next_increment(
 
 
 def _candidate_chain(
-    qmodel: QuantizedModel,
     plan: ProtectionPlan,
-    ranking: list[tuple[str, float]],
-    step: float,
+    increment,
     length: int,
 ) -> tuple[list[ProtectionPlan], bool]:
     """The next ``length`` plans the serial heuristic would evaluate.
 
     ``plan`` (not yet evaluated) is the chain's first candidate; each
-    successor applies one deterministic increment to a copy of its
+    successor applies ``increment`` (a deterministic, accuracy-independent
+    in-place step returning False at saturation) to a copy of its
     predecessor.  Returns ``(chain, saturated)`` where ``saturated`` means
-    the last chain entry has no successor (every fraction at 1.0), so the
-    chain may be shorter than requested.
+    the last chain entry has no successor, so the chain may be shorter
+    than requested.
     """
     chain = [plan]
     saturated = False
     while len(chain) < length:
         successor = chain[-1].copy()
-        if not _next_increment(qmodel, successor, ranking, step):
+        if not increment(successor):
             saturated = True
             break
         chain.append(successor)
@@ -297,11 +328,60 @@ def plan_tmr(
         The grown plan with its convergence record; identical for any
         worker count and for ``speculative`` on or off.
     """
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    return _grow_plan(
+        qmodel,
+        x,
+        labels,
+        ber=ber,
+        target_accuracy=target_accuracy,
+        config=config,
+        engine=engine,
+        initial_plan=initial_plan,
+        increment=lambda plan: _next_increment(
+            qmodel, plan, vulnerability_ranking, step
+        ),
+        overhead=lambda plan: tmr_overhead_energy(qmodel, plan, cost_model),
+        max_iterations=max_iterations,
+        speculative=speculative,
+        lookahead=lookahead,
+        adaptive_lookahead=adaptive_lookahead,
+        tag="tmr-iter",
+    )
+
+
+def _grow_plan(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    target_accuracy: float,
+    config: CampaignConfig | None,
+    engine: CampaignEngine | None,
+    initial_plan: ProtectionPlan | None,
+    increment,
+    overhead,
+    max_iterations: int,
+    speculative: bool,
+    lookahead: int | None,
+    adaptive_lookahead: bool,
+    tag: str,
+) -> TmrPlanResult:
+    """Shared grow-until-goal loop behind :func:`plan_tmr` and
+    :func:`plan_portfolio`.
+
+    ``increment`` is the heuristic's deterministic step (mutates a
+    candidate in place, returns False at saturation) and ``overhead`` the
+    matching cost accounting; both must be independent of measured
+    accuracy so the speculative candidate chain stays exact.  Everything
+    else — engine dispatch, chain-order iteration counting, adaptive
+    speculation depth, convergence bookkeeping — is scheme-agnostic and
+    bit-identical to the original serial TMR loop.
+    """
     if not 0.0 < target_accuracy <= 1.0:
         raise ConfigurationError(f"bad target accuracy {target_accuracy}")
     config = config or CampaignConfig()
     engine = engine if engine is not None else CampaignEngine(workers=1)
-    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
     plan = initial_plan.copy() if initial_plan is not None else ProtectionPlan()
     if lookahead is not None and lookahead < 1:
         raise ConfigurationError(f"lookahead must be >= 1, got {lookahead}")
@@ -322,15 +402,13 @@ def plan_tmr(
                 base_depth, target_accuracy, accuracy, initial_gap
             )
         length = min(depth, max_iterations - iterations)
-        chain, saturated = _candidate_chain(
-            qmodel, plan, vulnerability_ranking, step, length
-        )
+        chain, saturated = _candidate_chain(plan, increment, length)
         tasks = [
             TaskSpec(
                 ber=ber,
                 seeds=tuple(config.seeds),
                 protection=candidate,
-                tag=f"tmr-iter{iterations + offset + 1}",
+                tag=f"{tag}{iterations + offset + 1}",
             )
             for offset, candidate in enumerate(chain)
         ]
@@ -348,7 +426,7 @@ def plan_tmr(
                 {
                     "iteration": iterations,
                     "accuracy": accuracy,
-                    "overhead": tmr_overhead_energy(qmodel, candidate, cost_model),
+                    "overhead": overhead(candidate),
                 }
             )
             if accuracy >= target_accuracy:
@@ -362,25 +440,172 @@ def plan_tmr(
         # increment past the last measured candidate, exactly as the
         # serial heuristic leaves it.
         successor = plan.copy()
-        if not _next_increment(qmodel, successor, vulnerability_ranking, step):
+        if not increment(successor):
             break  # everything protected; cannot do better
         plan = successor
 
     discarded = evaluated - iterations
     if speculative:
         _LOG.info(
-            "speculative TMR planning: %d candidate evaluations for %d "
+            "speculative %s planning: %d candidate evaluations for %d "
             "counted iterations (%d discarded, adaptive_lookahead=%s)",
+            tag.removesuffix("-iter"),
             evaluated, iterations, discarded, adaptive_lookahead,
         )
     return TmrPlanResult(
         plan=plan,
         achieved_accuracy=accuracy,
-        overhead_energy=tmr_overhead_energy(qmodel, plan, cost_model),
+        overhead_energy=overhead(plan),
         target_accuracy=target_accuracy,
         ber=ber,
         iterations=iterations,
         converged=converged,
         history=history,
         discarded_evaluations=discarded,
+    )
+
+
+def _portfolio_increment(
+    plan: ProtectionPlan,
+    ranking: list[tuple[str, float]],
+    layers_by_name: dict,
+    layer_costs: dict[str, dict[str, float]],
+    coverage: dict[str, float],
+    ladder: tuple[str, ...],
+) -> bool:
+    """Apply the single most cost-efficient whole-layer scheme upgrade.
+
+    Every ranked layer's candidate move is the next rung of the scheme
+    ladder above its current scheme; the move's score is
+    ``vulnerability_factor * coverage_gain / overhead_delta``.  The
+    highest score wins, ties resolving to the most vulnerable layer
+    (ranking order).  Upgrading to TMR sets every present category's
+    fraction to 1.0 (whole-layer replication); upgrading to ABFT zeroes
+    them (faults are injected in full and corrected at the accumulator).
+    Deliberately independent of any measured accuracy — this keeps the
+    speculative candidate chain exact.  Returns False when every layer
+    sits on the ladder's top reachable rung.
+    """
+    best = None  # (score, layer, scheme)
+    for layer_name, vulnerability in ranking:
+        current = plan.scheme(layer_name)
+        current_cov = coverage.get(current, 0.0)
+        upgrade = next((s for s in ladder if coverage[s] > current_cov), None)
+        if upgrade is None:
+            continue
+        gain = coverage[upgrade] - current_cov
+        delta = max(
+            layer_costs[layer_name][upgrade]
+            - layer_costs[layer_name].get(current, 0.0),
+            1e-12,
+        )
+        score = vulnerability * gain / delta
+        if best is None or score > best[0]:
+            best = (score, layer_name, upgrade)
+    if best is None:
+        return False
+    _, layer_name, scheme = best
+    plan.set_scheme(layer_name, scheme)
+    fraction = 1.0 if scheme == SCHEME_TMR else 0.0
+    for category in _layer_categories(layers_by_name[layer_name], mul_first=True):
+        plan.set(layer_name, category, fraction)
+    return True
+
+
+def plan_portfolio(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    target_accuracy: float,
+    vulnerability_ranking: list[tuple[str, float]],
+    config: CampaignConfig | None = None,
+    cost_model: OpCostModel | None = None,
+    allowed: tuple[str, ...] = (SCHEME_ABFT, SCHEME_TMR),
+    abft_coverage: float = 0.99,
+    initial_plan: ProtectionPlan | None = None,
+    max_iterations: int = 400,
+    engine: CampaignEngine | None = None,
+    speculative: bool = False,
+    lookahead: int | None = None,
+    adaptive_lookahead: bool = False,
+) -> TmrPlanResult:
+    """Grow a mixed-scheme protection plan until ``target_accuracy`` holds.
+
+    Per-layer the planner chooses among {none, ABFT, TMR} (restricted by
+    ``allowed`` — pass ``("tmr",)`` / ``("abft",)`` for the single-scheme
+    comparison curves), upgrading one whole layer per iteration along the
+    coverage ladder by greatest ``vulnerability × coverage gain / energy``
+    (see :func:`_portfolio_increment`).  Candidate plans are evaluated
+    exactly like :func:`plan_tmr` candidates — one seed-batch task per
+    candidate through the engine, so worker pools, sample sharding,
+    golden-run replay, checkpointing and the speculative/adaptive
+    machinery all apply; results are bit-identical for any worker count
+    and for ``speculative`` on or off.
+
+    Parameters mirror :func:`plan_tmr` except:
+
+    allowed:
+        Schemes the planner may assign, a non-empty subset of
+        ``("abft", "tmr")``.
+    abft_coverage:
+        Assumed fault coverage of the ABFT scheme in ``(0, 1)``, used
+        only to *score* upgrades (TMR scores coverage 1.0); the measured
+        accuracy always comes from the campaign, where correction
+        coverage is whatever the checksum actually achieves.
+
+    Returns a :class:`TmrPlanResult`; ``plan.schemes`` carries the chosen
+    per-layer schemes and ``overhead_energy`` accounts both the TMR
+    replication and the ABFT checksum cost
+    (:func:`~repro.tmr.cost.portfolio_overhead_energy`).
+    """
+    if not allowed or not set(allowed) <= {SCHEME_ABFT, SCHEME_TMR}:
+        raise ConfigurationError(
+            f"allowed schemes must be a non-empty subset of "
+            f"('{SCHEME_ABFT}', '{SCHEME_TMR}'), got {allowed!r}"
+        )
+    if not 0.0 < abft_coverage < 1.0:
+        raise ConfigurationError(
+            f"abft_coverage must be in (0, 1), got {abft_coverage}"
+        )
+    cost_model = cost_model or OpCostModel(width=qmodel.config.width)
+    coverage = {
+        SCHEME_NONE: 0.0,
+        SCHEME_ABFT: abft_coverage,
+        SCHEME_TMR: 1.0,
+    }
+    ladder = tuple(sorted(set(allowed), key=coverage.__getitem__))
+    layers_by_name = {layer.name: layer for layer in qmodel.injectable_layers()}
+    extra = cost_model.tmr_factor - 1.0
+    layer_costs: dict[str, dict[str, float]] = {}
+    for name, layer in layers_by_name.items():
+        tmr_cost = sum(
+            n_ops * cost_model.category_energy(category) * extra
+            for category, n_ops in layer.op_counts.by_category().items()
+            if n_ops
+        )
+        layer_costs[name] = {
+            SCHEME_NONE: 0.0,
+            SCHEME_ABFT: abft_overhead_energy(qmodel, (name,), cost_model),
+            SCHEME_TMR: tmr_cost,
+        }
+    return _grow_plan(
+        qmodel,
+        x,
+        labels,
+        ber=ber,
+        target_accuracy=target_accuracy,
+        config=config,
+        engine=engine,
+        initial_plan=initial_plan,
+        increment=lambda plan: _portfolio_increment(
+            plan, vulnerability_ranking, layers_by_name, layer_costs,
+            coverage, ladder,
+        ),
+        overhead=lambda plan: portfolio_overhead_energy(qmodel, plan, cost_model),
+        max_iterations=max_iterations,
+        speculative=speculative,
+        lookahead=lookahead,
+        adaptive_lookahead=adaptive_lookahead,
+        tag="portfolio-iter",
     )

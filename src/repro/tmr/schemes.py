@@ -26,26 +26,41 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.vulnerability import layer_vulnerability
+from repro.errors import ConfigurationError
 from repro.faultsim.campaign import CampaignConfig
-from repro.faultsim.protection import ProtectionPlan
+from repro.faultsim.protection import ProtectionPlan, SCHEME_ABFT, SCHEME_TMR
 from repro.quantized.qmodel import QuantizedModel
 from repro.runtime.engine import CampaignEngine
 from repro.tmr.cost import OpCostModel
-from repro.tmr.planner import TmrPlanResult, plan_tmr
+from repro.tmr.planner import TmrPlanResult, plan_portfolio, plan_tmr
 from repro.winograd.opcount import ADD_CATEGORIES, MUL_CATEGORIES
 
 __all__ = [
     "SCHEME_ST",
     "SCHEME_WG_WO_AFT",
     "SCHEME_WG_W_AFT",
+    "PROTECTION_TMR",
+    "PROTECTION_ABFT",
+    "PROTECTION_PORTFOLIO",
     "SchemeCurve",
     "map_plan_to_winograd",
     "run_tmr_schemes",
+    "run_protection_portfolio",
 ]
 
 SCHEME_ST = "ST-Conv"
 SCHEME_WG_WO_AFT = "WG-Conv-W/O-AFT"
 SCHEME_WG_W_AFT = "WG-Conv-W/AFT"
+
+#: Portfolio-experiment strategies: which schemes the planner may assign.
+PROTECTION_TMR = "tmr"
+PROTECTION_ABFT = "abft"
+PROTECTION_PORTFOLIO = "portfolio"
+_PROTECTION_ALLOWED: dict[str, tuple[str, ...]] = {
+    PROTECTION_TMR: (SCHEME_TMR,),
+    PROTECTION_ABFT: (SCHEME_ABFT,),
+    PROTECTION_PORTFOLIO: (SCHEME_ABFT, SCHEME_TMR),
+}
 
 
 @dataclass
@@ -175,6 +190,64 @@ def run_tmr_schemes(
         curves[SCHEME_WG_W_AFT].goals.append(goal)
         curves[SCHEME_WG_W_AFT].results.append(aware)
 
+    return curves
+
+
+def run_protection_portfolio(
+    qmodel: QuantizedModel,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ber: float,
+    goals: list[float],
+    config: CampaignConfig | None = None,
+    cost_model: OpCostModel | None = None,
+    strategies: tuple[str, ...] = (
+        PROTECTION_TMR, PROTECTION_ABFT, PROTECTION_PORTFOLIO,
+    ),
+    abft_coverage: float = 0.99,
+    engine: CampaignEngine | None = None,
+    speculative: bool = False,
+    adaptive_lookahead: bool = False,
+) -> dict[str, SchemeCurve]:
+    """Overhead-vs-goal curves for whole-layer TMR, ABFT and the mix.
+
+    The journal-extension comparison: one vulnerability analysis of
+    ``qmodel``, then per strategy one :func:`plan_portfolio` ladder over
+    the ascending ``goals`` with warm-started plans — ``"tmr"`` may only
+    assign whole-layer TMR, ``"abft"`` only the checksum scheme, and
+    ``"portfolio"`` chooses per layer.  All evaluations route through
+    ``engine`` (worker pools, checkpointing, sample sharding and replay
+    included) and are bit-identical for any worker count.  Returns one
+    :class:`SchemeCurve` per strategy, keyed by strategy name.
+    """
+    unknown = set(strategies) - set(_PROTECTION_ALLOWED)
+    if not strategies or unknown:
+        raise ConfigurationError(
+            f"strategies must be a non-empty subset of "
+            f"{tuple(_PROTECTION_ALLOWED)}, got {strategies!r}"
+        )
+    config = config or CampaignConfig()
+    goals = sorted(goals)
+    vuln = layer_vulnerability(qmodel, x, labels, ber, config=config, engine=engine)
+    ranking = _ranking(vuln)
+
+    curves: dict[str, SchemeCurve] = {}
+    for strategy in strategies:
+        curve = SchemeCurve(strategy, [], [])
+        plan: ProtectionPlan | None = None
+        for goal in goals:
+            result = plan_portfolio(
+                qmodel, x, labels, ber, goal, ranking,
+                config=config, cost_model=cost_model,
+                allowed=_PROTECTION_ALLOWED[strategy],
+                abft_coverage=abft_coverage, initial_plan=plan,
+                engine=engine, speculative=speculative,
+                adaptive_lookahead=adaptive_lookahead,
+            )
+            plan = result.plan
+            curve.goals.append(goal)
+            curve.results.append(result)
+        curves[strategy] = curve
     return curves
 
 

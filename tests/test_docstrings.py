@@ -1,11 +1,12 @@
-"""Docstring-coverage gate for the public runtime and TMR APIs.
+"""Docstring-coverage gate for the public runtime, TMR and faultsim APIs.
 
 ``docs/RUNTIME.md`` documents the execution runtime; this gate keeps the
 in-code reference complete: every public module, class, function and
-method in :mod:`repro.runtime` and :mod:`repro.tmr` must carry a
-docstring.  The check is AST-based (the same contract an ``interrogate``
-run with ``--ignore-private`` enforces) so it needs no third-party
-dependency and runs in tier-1 CI on every push.
+method in :mod:`repro.runtime`, :mod:`repro.tmr` and
+:mod:`repro.faultsim` must carry a docstring.  The check is AST-based
+(the same contract an ``interrogate`` run with ``--ignore-private``
+enforces) so it needs no third-party dependency and runs in tier-1 CI on
+every push.
 
 Definition of *public* used here:
 
@@ -29,11 +30,12 @@ from pathlib import Path
 
 import pytest
 
+import repro.faultsim
 import repro.runtime
 import repro.tmr
 
 #: Packages whose public APIs docs/RUNTIME.md promises are documented.
-GATED_PACKAGES = (repro.runtime, repro.tmr)
+GATED_PACKAGES = (repro.runtime, repro.tmr, repro.faultsim)
 
 
 
@@ -85,15 +87,21 @@ def test_public_api_fully_documented(package_name, path):
 
 def test_gate_actually_covers_both_packages():
     """Regression guard: the parametrization must see every module of
-    both packages (an import/layout change silently shrinking the gate
-    would otherwise go unnoticed)."""
+    the gated packages (an import/layout change silently shrinking the
+    gate would otherwise go unnoticed)."""
     modules = list(_package_modules())
     runtime = [p for name, p in modules if name == "repro.runtime"]
     tmr = [p for name, p in modules if name == "repro.tmr"]
+    faultsim = [p for name, p in modules if name == "repro.faultsim"]
     assert {p.name for p in runtime} == {
         "__init__.py", "checkpoint.py", "engine.py", "hashing.py",
         "progress.py", "tasks.py",
     }
     assert {p.name for p in tmr} == {
         "__init__.py", "cost.py", "planner.py", "schemes.py",
+    }
+    assert {p.name for p in faultsim} == {
+        "__init__.py", "abft.py", "campaign.py", "model.py",
+        "neuron_level.py", "operation_level.py", "protection.py",
+        "replay.py", "sampling.py", "sites.py",
     }

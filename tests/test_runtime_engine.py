@@ -341,6 +341,26 @@ class TestProgressAndCheckpointStore:
         store.flush()
         assert not path.exists()
 
+    @pytest.mark.parametrize("content", ["", "\n\n"], ids=["empty", "whitespace"])
+    def test_store_empty_file_is_fresh(self, tmp_path, content):
+        """A zero-byte (touch-created, or crash-before-header) checkpoint
+        loads as a fresh store — not a CheckpointError — and the first
+        flush rewrites it with a proper v2 header."""
+        from repro.faultsim import SeedPointResult
+
+        path = tmp_path / "ck.json"
+        path.write_text(content)
+        store = CampaignCheckpoint(path)
+        assert len(store) == 0 and store.damaged_lines == []
+        store.put("abc", SeedPointResult(ber=1e-5, seed=3, accuracy=0.5, events=7))
+        store.flush()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"version": 2}
+        reloaded = CampaignCheckpoint(path, strict=True)
+        assert reloaded.get("abc") == SeedPointResult(
+            ber=1e-5, seed=3, accuracy=0.5, events=7
+        )
+
     def test_store_rejects_unknown_version(self, tmp_path):
         from repro.errors import CheckpointError
 
