@@ -285,6 +285,65 @@ def run_replay_comparison(workers: int = 4) -> dict:
     }
 
 
+def run_adaptive_comparison(workers: int = 4) -> dict:
+    """Count (seed x point) units: fixed grid at full budget vs early stop.
+
+    The adaptive engine's claim is a *sample-count* saving, not a raw
+    speedup: on a low-BER grid, points whose confidence interval settles
+    inside the target half-width stop adding seeds, while the fixed grid
+    spends ``max_seeds`` everywhere.  Both sides run the same engine and
+    worker count; ``saved_ratio`` is the fraction of the fixed grid's
+    (seed x point) units the adaptive run never evaluated.
+    """
+    import dataclasses
+
+    from repro.stats import StopRule, adaptive_sweep, extended_seeds
+
+    qmodel, x, y, base = build_workload()
+    config = CampaignConfig(
+        seeds=SEEDS,
+        batch_size=base.batch_size,
+        max_samples=base.max_samples,
+        fault_config=FaultModelConfig(rng_scheme="counter"),
+    )
+    # Low-BER-heavy grid: the regime where points settle early.
+    bers = (1e-8, 1e-7) + BERS
+    rule = StopRule(halfwidth=0.04, min_seeds=len(SEEDS), max_seeds=6)
+
+    full = dataclasses.replace(
+        config, seeds=extended_seeds(SEEDS, rule.max_seeds)
+    )
+    engine = CampaignEngine(workers=workers)
+    start = time.perf_counter()
+    engine.run_sweep(qmodel, x, y, list(bers), config=full)
+    fixed_seconds = time.perf_counter() - start
+    fixed_units = len(bers) * rule.max_seeds
+
+    start = time.perf_counter()
+    sweep = adaptive_sweep(
+        qmodel, x, y, list(bers), config=config, rule=rule, engine=engine
+    )
+    adaptive_seconds = time.perf_counter() - start
+
+    return {
+        "bers": len(bers),
+        "workers": engine.workers,
+        "available_cores": resolve_workers(0),
+        "halfwidth": rule.halfwidth,
+        "max_seeds": rule.max_seeds,
+        "fixed_units": fixed_units,
+        "adaptive_units": sweep.total_units,
+        "stopped_early": sum(1 for p in sweep.points if p.stopped_early),
+        "rounds": sweep.rounds,
+        "saved_ratio": 1.0 - sweep.total_units / fixed_units,
+        "fixed_seconds": fixed_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": fixed_seconds / adaptive_seconds
+        if adaptive_seconds
+        else float("inf"),
+    }
+
+
 def format_report(stats: dict) -> str:
     return (
         f"campaign engine benchmark — {stats['units']} (BER, seed) units\n"
@@ -320,6 +379,22 @@ def format_replay_report(stats: dict) -> str:
         f"  replay          : {stats['replay_seconds']:.2f} s (incl. golden build)\n"
         f"  speedup         : {stats['speedup']:.2f}x\n"
         f"  bit-identical   : {stats['bit_identical']}"
+    )
+
+
+def format_adaptive_report(stats: dict) -> str:
+    return (
+        f"adaptive benchmark — {stats['bers']} BER points, "
+        f"halfwidth {stats['halfwidth']}, budget {stats['max_seeds']} seeds\n"
+        f"  workers         : {stats['workers']}\n"
+        f"  fixed grid      : {stats['fixed_units']} units, "
+        f"{stats['fixed_seconds']:.2f} s\n"
+        f"  adaptive        : {stats['adaptive_units']} units, "
+        f"{stats['adaptive_seconds']:.2f} s "
+        f"({stats['stopped_early']} points stopped early, "
+        f"{stats['rounds']} rounds)\n"
+        f"  saved units     : {stats['saved_ratio']:.1%}\n"
+        f"  speedup         : {stats['speedup']:.2f}x"
     )
 
 
@@ -414,6 +489,24 @@ def test_replay_speedup():
     )
 
 
+def test_adaptive_saves_units():
+    """Early stopping must evaluate measurably fewer (seed x point) units
+    than the fixed grid on the low-BER workload — on any machine (the
+    unit counts are deterministic, no core-count skip)."""
+    stats = run_adaptive_comparison(workers=2)
+    print()
+    print(format_adaptive_report(stats))
+    assert stats["stopped_early"] > 0, "no point settled; tune the workload"
+    assert stats["adaptive_units"] < stats["fixed_units"], (
+        f"adaptive evaluated {stats['adaptive_units']} units, fixed grid "
+        f"{stats['fixed_units']} — no saving"
+    )
+    assert stats["saved_ratio"] >= 0.2, (
+        f"expected >= 20% saved units on the low-BER grid, "
+        f"got {stats['saved_ratio']:.1%}"
+    )
+
+
 if __name__ == "__main__":
     np.random.seed(0)
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -429,6 +522,7 @@ if __name__ == "__main__":
     planner = run_planner_comparison(workers=args.workers)
     sample_shard = run_sample_shard_comparison(workers=args.workers)
     replay = run_replay_comparison(workers=args.workers)
+    adaptive = run_adaptive_comparison(workers=args.workers)
     print(format_report(sweep))
     print(
         f"task-batch benchmark — {tasks['units']} protected tasks "
@@ -441,6 +535,7 @@ if __name__ == "__main__":
     print(format_planner_report(planner))
     print(format_sample_shard_report(sample_shard))
     print(format_replay_report(replay))
+    print(format_adaptive_report(adaptive))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
@@ -450,6 +545,7 @@ if __name__ == "__main__":
                     "planner": planner,
                     "sample_shard": sample_shard,
                     "replay": replay,
+                    "adaptive": adaptive,
                 },
                 handle, indent=2, sort_keys=True,
             )

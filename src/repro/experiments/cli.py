@@ -36,6 +36,14 @@ cache: the fault-free forward runs once per (model, data) and each
 evaluation recomputes only its fault-touched samples — bit-identical
 results, a fraction of the arithmetic at low BER.  Replay also requires
 the counter RNG scheme, which it implies just like ``--shard-samples``.
+
+``--adaptive-ber`` switches figs 2/6/7 from their fixed BER grids to the
+adaptive engine (:mod:`repro.stats`): the BER points are chosen by knee
+bisection over the grid's extremes, and every point stops adding seeds
+once its confidence interval is inside ``--ci-halfwidth`` (seed budget
+``--max-seeds``).  Stopping decisions depend only on canonically ordered
+per-seed results, so adaptive runs stay bit-reproducible and resumable
+for any ``--workers``/``--shard-samples``/``--replay`` combination.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ import sys
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig_portfolio
 from repro.experiments.common import FULL, QUICK, make_engine
 from repro.runtime import stream_reporter
+from repro.stats import StopRule
 
 _FIGURES = {
     "fig1": fig1,
@@ -157,6 +166,28 @@ def main(argv: list[str] | None = None) -> int:
         help="disable golden-run replay (the default)",
     )
     parser.add_argument(
+        "--adaptive-ber",
+        action="store_true",
+        help="figs 2/6/7: replace the fixed BER grid with adaptive "
+        "knee-bisection sampling and per-point early stopping "
+        "(deterministic for any --workers/--shard-samples/--replay)",
+    )
+    parser.add_argument(
+        "--ci-halfwidth",
+        type=float,
+        default=None,
+        metavar="W",
+        help="adaptive mode: stop adding seeds at a BER point once its "
+        "Wilson confidence interval's half-width is <= W (default: 0.02)",
+    )
+    parser.add_argument(
+        "--max-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive mode: seed budget per BER point (default: 8)",
+    )
+    parser.add_argument(
         "--rng-scheme",
         choices=("stream", "counter"),
         default=None,
@@ -182,9 +213,25 @@ def main(argv: list[str] | None = None) -> int:
             )
         scheme = "counter"
 
+    rule = None
+    if args.adaptive_ber:
+        rule_kwargs = {}
+        if args.ci_halfwidth is not None:
+            rule_kwargs["halfwidth"] = args.ci_halfwidth
+        if args.max_seeds is not None:
+            rule_kwargs["max_seeds"] = args.max_seeds
+        rule = rule_kwargs  # completed below once the profile is known
+    elif args.ci_halfwidth is not None or args.max_seeds is not None:
+        parser.error("--ci-halfwidth/--max-seeds require --adaptive-ber")
+
     profile = FULL if args.profile == "full" else QUICK
     if scheme is not None:
         profile = dataclasses.replace(profile, rng_scheme=scheme)
+    if rule is not None:
+        # min_seeds anchors at the profile's configured seed count, so a
+        # settled point's estimate matches the fixed-grid estimate (and
+        # shares its checkpoint entries) exactly.
+        rule = StopRule(min_seeds=len(profile.seeds), **rule)
     engine = make_engine(
         workers=args.workers,
         resume=args.resume,
@@ -210,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
                 "speculative": args.speculative,
                 "protection": args.protection,
             }
+        elif name in ("fig2", "fig6", "fig7") and rule is not None:
+            extra = {"adaptive": rule}
         payload = module.run(profile=profile, engine=engine, **extra)
         print(module.format_report(payload))
         print()

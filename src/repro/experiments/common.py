@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.datasets import SyntheticDataset, make_dataset
+from repro.errors import ConfigurationError
 from repro.faultsim import (
     CampaignConfig,
     CampaignResult,
@@ -33,7 +34,8 @@ from repro.faultsim import (
     RNG_STREAM,
     run_sweep,
 )
-from repro.runtime import CampaignEngine
+from repro.runtime import CampaignEngine, adaptive_fingerprint
+from repro.stats import KneeConfig, StopRule, adaptive_sweep, knee_search
 from repro.models import BENCHMARKS, build_benchmark_model
 from repro.nn import Adam, TrainConfig, evaluate_accuracy, initialize, train
 from repro.quantized import QuantConfig, QuantizedModel, quantize_model
@@ -49,6 +51,7 @@ __all__ = [
     "prepare_benchmark",
     "quantized_pair",
     "accuracy_curve",
+    "adaptive_accuracy_curve",
     "pick_cliff_ber",
 ]
 
@@ -299,6 +302,105 @@ def accuracy_curve(
         )
     save_json(cache, [r.to_dict() for r in results])
     return results
+
+
+def _adaptive_point_meta(point) -> dict:
+    """Per-point metadata row (the result rows carry the accuracies)."""
+    row = point.to_dict()
+    row.pop("result")
+    return row
+
+
+def adaptive_accuracy_curve(
+    qmodel: QuantizedModel,
+    prep: PreparedBenchmark,
+    config: CampaignConfig,
+    rule: StopRule,
+    knee: KneeConfig | None = None,
+    grid: list[float] | None = None,
+    use_cache: bool = True,
+    engine: CampaignEngine | None = None,
+) -> tuple[list[CampaignResult], dict]:
+    """Adaptive accuracy-vs-BER curve with JSON result caching.
+
+    Exactly one of ``knee`` (BER-knee bisection chooses the points,
+    :func:`repro.stats.knee_search`) and ``grid`` (explicit BER points,
+    each early-stopped, :func:`repro.stats.adaptive_sweep`) must be
+    given.  Returns ``(rows, meta)``: ``rows`` are ordinary
+    :class:`CampaignResult` entries (BER-ascending in knee mode, grid
+    order otherwise) and ``meta`` records the per-point seed usage, stop
+    decisions, intervals, the knee bracket and the unit totals.
+
+    The cache key is the fixed-grid curve key suffixed with
+    :func:`repro.runtime.adaptive_fingerprint` over the stop rule and
+    the knee window / grid — legacy fixed-grid cache files are never
+    touched, and two adaptive runs differing only in ``round_seeds``
+    (scheduling, not decisions) share one entry.  Unit-level checkpoint
+    entries are shared with fixed-grid runs regardless.
+    """
+    if (knee is None) == (grid is None):
+        raise ConfigurationError(
+            "adaptive_accuracy_curve requires exactly one of knee= or grid="
+        )
+    base = _curve_cache_key(qmodel, [], config)
+    suffix = adaptive_fingerprint(
+        rule.identity(),
+        knee.identity() if knee is not None else None,
+        grid,
+    )
+    cache = results_dir() / "curves" / f"{base}-a{suffix}.json"
+    if use_cache and cache.exists():
+        doc = load_json(cache)
+        rows = [
+            CampaignResult(
+                ber=row["ber"],
+                lam=row["lambda"],
+                mean_accuracy=row["mean_accuracy"],
+                std_accuracy=row["std_accuracy"],
+                per_seed=row["per_seed"],
+                events_per_seed=row["events_per_seed"],
+            )
+            for row in doc["rows"]
+        ]
+        return rows, doc["meta"]
+    if knee is not None:
+        found = knee_search(
+            qmodel, prep.eval_x, prep.eval_y, knee,
+            config=config, rule=rule, engine=engine,
+        )
+        points = found.points
+        meta = {
+            "mode": "knee",
+            "rule": rule.identity(),
+            "knee": knee.identity(),
+            "knee_ber": found.knee_ber,
+            "bracket": list(found.bracket) if found.bracket else None,
+            "target_accuracy": found.target_accuracy,
+            "rounds": found.rounds,
+            "total_units": found.total_units,
+            "computed_units": found.computed_units,
+            "cached_units": found.cached_units,
+            "points": [_adaptive_point_meta(p) for p in points],
+        }
+    else:
+        sweep = adaptive_sweep(
+            qmodel, prep.eval_x, prep.eval_y, list(grid),
+            config=config, rule=rule, engine=engine,
+        )
+        points = sweep.points
+        meta = {
+            "mode": "grid",
+            "rule": rule.identity(),
+            "grid": [float(b) for b in grid],
+            "rounds": sweep.rounds,
+            "total_units": sweep.total_units,
+            "computed_units": sweep.computed_units,
+            "cached_units": sweep.cached_units,
+            "points": [_adaptive_point_meta(p) for p in points],
+        }
+    rows = [p.result for p in points]
+    save_json(cache, {"rows": [r.to_dict() for r in rows], "meta": meta})
+    return rows, meta
 
 
 def pick_cliff_ber(

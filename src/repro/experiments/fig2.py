@@ -12,10 +12,12 @@ from repro.experiments.common import (
     ExperimentProfile,
     QUICK,
     accuracy_curve,
+    adaptive_accuracy_curve,
     prepare_benchmark,
     quantized_pair,
     results_dir,
 )
+from repro.stats import KneeConfig, StopRule
 from repro.utils.serialization import save_json
 
 __all__ = ["run", "format_report", "DEFAULT_BENCHMARKS"]
@@ -28,8 +30,19 @@ def run(
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     widths: tuple[int, ...] = (8, 16),
     engine=None,
+    adaptive: StopRule | None = None,
 ) -> dict:
-    """Execute the Fig. 2 experiment for the selected benchmarks/widths."""
+    """Execute the Fig. 2 experiment for the selected benchmarks/widths.
+
+    With ``adaptive`` set (CLI ``--adaptive-ber``), the profile's fixed
+    BER grid is replaced per panel: the standard-convolution curve's
+    points are chosen by BER-knee bisection over the grid's extremes
+    (:func:`repro.stats.knee_search`), then the Winograd curve is
+    evaluated at those same BERs (each point early-stopped) so the
+    improvement series shares its axis.  Every point reports its seed
+    usage and confidence interval in the panel's ``adaptive`` block, and
+    the top-level ``bers`` is ``None`` — each panel carries its own axis.
+    """
     config = profile.campaign()
     bers = list(profile.ber_grid)
     panels = {}
@@ -38,20 +51,40 @@ def run(
         panel: dict = {"paper_label": prep.paper_label, "widths": {}}
         for width in widths:
             qm_st, qm_wg = quantized_pair(prep, width, profile)
-            st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
-            wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
+            meta = None
+            if adaptive is not None:
+                window = KneeConfig(lo=min(bers), hi=max(bers))
+                st, st_meta = adaptive_accuracy_curve(
+                    qm_st, prep, config, adaptive, knee=window, engine=engine
+                )
+                grid_bers = [r.ber for r in st]
+                wg, wg_meta = adaptive_accuracy_curve(
+                    qm_wg, prep, config, adaptive, grid=grid_bers, engine=engine
+                )
+                meta = {"standard": st_meta, "winograd": wg_meta}
+            else:
+                st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
+                wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
             improvement = [
                 w.mean_accuracy - s.mean_accuracy for s, w in zip(st, wg)
             ]
-            panel["widths"][str(width)] = {
+            data = {
                 "fault_free": qm_st.metadata["fault_free_accuracy"],
                 "standard": [r.to_dict() for r in st],
                 "winograd": [r.to_dict() for r in wg],
                 "improvement": improvement,
             }
+            if meta is not None:
+                data["bers"] = [r.ber for r in st]
+                data["adaptive"] = meta
+            panel["widths"][str(width)] = data
         panels[name] = panel
 
-    payload = {"figure": "fig2", "bers": bers, "panels": panels}
+    payload = {
+        "figure": "fig2",
+        "bers": None if adaptive is not None else bers,
+        "panels": panels,
+    }
     save_json(results_dir() / "fig2.json", payload)
     return payload
 

@@ -21,11 +21,13 @@ from repro.experiments.common import (
     ExperimentProfile,
     QUICK,
     accuracy_curve,
+    adaptive_accuracy_curve,
     prepare_benchmark,
     quantized_pair,
     results_dir,
 )
 from repro.faultsim import expected_faults_per_image
+from repro.stats import KneeConfig, StopRule
 from repro.utils.serialization import save_json
 
 __all__ = ["run", "format_report", "calibrated_vber", "build_accuracy_curves"]
@@ -43,13 +45,39 @@ def calibrated_vber(qm_standard) -> VoltageBerModel:
 
 
 def build_accuracy_curves(
-    prep, qm_st, qm_wg, profile: ExperimentProfile, engine=None
-) -> tuple[AccuracyCurve, AccuracyCurve]:
-    """Accuracy-vs-BER curves for both execution modes (cached sweeps)."""
+    prep,
+    qm_st,
+    qm_wg,
+    profile: ExperimentProfile,
+    engine=None,
+    adaptive: StopRule | None = None,
+) -> tuple[AccuracyCurve, AccuracyCurve, dict | None]:
+    """Accuracy-vs-BER curves for both execution modes (cached sweeps).
+
+    With ``adaptive`` set, the fixed profile grid is replaced by a
+    BER-knee bisection on the standard-convolution curve
+    (:func:`repro.stats.knee_search`); the Winograd curve is then
+    evaluated at the same BERs, each point early-stopped, so both curves
+    interpolate over one axis.  The third return value is the adaptive
+    metadata (per-point seed usage, intervals, knee bracket, unit
+    totals) — ``None`` on the fixed-grid path.
+    """
     config = profile.campaign()
     bers = list(profile.ber_grid)
-    st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
-    wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
+    meta = None
+    if adaptive is not None:
+        window = KneeConfig(lo=min(bers), hi=max(bers))
+        st, st_meta = adaptive_accuracy_curve(
+            qm_st, prep, config, adaptive, knee=window, engine=engine
+        )
+        wg, wg_meta = adaptive_accuracy_curve(
+            qm_wg, prep, config, adaptive,
+            grid=[r.ber for r in st], engine=engine,
+        )
+        meta = {"standard": st_meta, "winograd": wg_meta}
+    else:
+        st = accuracy_curve(qm_st, prep, bers, config, engine=engine)
+        wg = accuracy_curve(qm_wg, prep, bers, config, engine=engine)
     curve_st = AccuracyCurve(
         [r.ber for r in st],
         [r.mean_accuracy for r in st],
@@ -60,7 +88,7 @@ def build_accuracy_curves(
         [r.mean_accuracy for r in wg],
         qm_wg.metadata["fault_free_accuracy"],
     )
-    return curve_st, curve_wg
+    return curve_st, curve_wg, meta
 
 
 def run(
@@ -69,12 +97,15 @@ def run(
     width: int = 16,
     voltage_points: int = 21,
     engine=None,
+    adaptive: StopRule | None = None,
 ) -> dict:
     """Execute the Fig. 6 experiment."""
     prep = prepare_benchmark(benchmark, profile)
     qm_st, qm_wg = quantized_pair(prep, width, profile)
     vber = calibrated_vber(qm_st)
-    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile, engine=engine)
+    curve_st, curve_wg, adaptive_meta = build_accuracy_curves(
+        prep, qm_st, qm_wg, profile, engine=engine, adaptive=adaptive
+    )
 
     # The paper plots 0.77-0.82 V; sample that window within our range.
     voltages = np.linspace(0.77, 0.82, voltage_points)
@@ -98,6 +129,8 @@ def run(
         "reference_lambda": REFERENCE_LAMBDA,
         "rows": rows,
     }
+    if adaptive_meta is not None:
+        payload["adaptive"] = adaptive_meta
     save_json(results_dir() / "fig6.json", payload)
     return payload
 

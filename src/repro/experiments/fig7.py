@@ -22,6 +22,7 @@ from repro.experiments.common import (
     results_dir,
 )
 from repro.experiments.fig6 import build_accuracy_curves, calibrated_vber
+from repro.stats import StopRule
 from repro.utils.serialization import save_json
 
 __all__ = ["run", "format_report"]
@@ -35,12 +36,15 @@ def run(
     width: int = 16,
     accuracy_losses: tuple[float, ...] = ACCURACY_LOSSES,
     engine=None,
+    adaptive: StopRule | None = None,
 ) -> dict:
     """Execute the Fig. 7 experiment."""
     prep = prepare_benchmark(benchmark, profile)
     qm_st, qm_wg = quantized_pair(prep, width, profile)
     vber = calibrated_vber(qm_st)
-    curve_st, curve_wg = build_accuracy_curves(prep, qm_st, qm_wg, profile, engine=engine)
+    curve_st, curve_wg, adaptive_meta = build_accuracy_curves(
+        prep, qm_st, qm_wg, profile, engine=engine, adaptive=adaptive
+    )
 
     timing_st = simulate_network(qm_st, DNN_ENGINE)
     timing_wg = simulate_network(qm_wg, DNN_ENGINE)
@@ -89,6 +93,8 @@ def run(
         "average_reduction": reductions,
         "paper_reference": {"vs ST-Conv": 0.4289, "vs WG-Conv-W/O-AFT": 0.0719},
     }
+    if adaptive_meta is not None:
+        payload["adaptive"] = adaptive_meta
     save_json(results_dir() / "fig7.json", payload)
     return payload
 

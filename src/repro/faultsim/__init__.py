@@ -47,6 +47,7 @@ from repro.faultsim.campaign import (
     evaluate_seed_point,
     run_point,
     run_sweep,
+    validate_ber,
 )
 
 __all__ = [
@@ -88,4 +89,5 @@ __all__ = [
     "evaluate_sample_slice",
     "run_point",
     "run_sweep",
+    "validate_ber",
 ]

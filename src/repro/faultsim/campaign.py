@@ -34,11 +34,12 @@ partition-invariant), so passing ``golden=`` never changes any result.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultModelError
 from repro.faultsim.abft import AbftChecker
 from repro.faultsim.model import FaultModelConfig, RNG_COUNTER
 from repro.faultsim.neuron_level import NeuronLevelInjector
@@ -60,10 +61,36 @@ __all__ = [
     "evaluate_sample_slice",
     "run_point",
     "run_sweep",
+    "validate_ber",
 ]
 
 INJECTOR_OPERATION = "operation"
 INJECTOR_NEURON = "neuron"
+
+
+def validate_ber(ber: float) -> float:
+    """Validate a bit error rate at the task boundary; returns it as float.
+
+    A NaN or negative BER would otherwise flow straight into Poisson
+    lambdas (silently poisoning draws) *and* into content-hashed
+    checkpoint keys — producing persisted rows a resume can never
+    reconcile, because the poisoned key is as stable as a valid one.
+    Rejecting here, before any unit runs or any key is derived, keeps the
+    checkpoint free of garbage identities.  Probabilities are accepted on
+    the closed interval: 0 (fault-free golden point) and 1 are both
+    meaningful.
+    """
+    try:
+        ber = float(ber)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"ber must be a real number, got {ber!r}") from None
+    if math.isnan(ber):
+        raise ConfigurationError("ber must not be NaN")
+    if not 0.0 <= ber <= 1.0:
+        raise ConfigurationError(
+            f"ber must be a probability in [0, 1], got {ber!r}"
+        )
+    return ber
 
 
 @dataclass(frozen=True)
@@ -253,6 +280,7 @@ def evaluate_seed_point(
     result's identity — outputs are bit-identical with or without it.
     """
     config = config or CampaignConfig()
+    ber = validate_ber(ber)
     if config.max_samples is not None:
         x, labels = x[: config.max_samples], labels[: config.max_samples]
     use_golden = _replay_usable(golden, config, ber, len(x))
@@ -306,6 +334,7 @@ def evaluate_sample_slice(
     the legacy stream scheme, whose draws are not partition-invariant.
     """
     config = config or CampaignConfig()
+    ber = validate_ber(ber)
     if config.max_samples is not None:
         x, labels = x[: config.max_samples], labels[: config.max_samples]
     start, stop = int(sample_slice[0]), int(sample_slice[1])
@@ -398,7 +427,13 @@ def campaign_lambda(
     config: CampaignConfig,
     protection: ProtectionPlan | None = None,
 ) -> float:
-    """Expected faults per inference for one BER under this campaign."""
+    """Expected faults per inference for one BER under this campaign.
+
+    Raises :class:`~repro.errors.FaultModelError` when the rate is not
+    finite — the upstream symptom of a poisoned BER or an overflowing op
+    census, caught here before it reaches a Poisson draw.
+    """
+    ber = validate_ber(ber)
     if config.injector == INJECTOR_OPERATION:
         lam = expected_faults_per_image(qmodel, ber, config.fault_config, protection)
     else:
@@ -406,7 +441,12 @@ def campaign_lambda(
             np.prod(layer.out_shape) * layer.out_fmt.width
             for layer in qmodel.injectable_layers()
         )
-    return float(lam)
+    lam = float(lam)
+    if not math.isfinite(lam):
+        raise FaultModelError(
+            f"expected fault rate is not finite ({lam!r}) at BER {ber!r}"
+        )
+    return lam
 
 
 def combine_seed_results(

@@ -61,6 +61,14 @@ __all__ = [
     "bit_lengths",
 ]
 
+#: Largest Poisson rate the chunk sampler accepts.  NumPy's int64
+#: ``Generator.poisson`` raises an opaque ``ValueError: lam value too
+#: large`` just above 9.22e18 (the int64 ceiling); we refuse a margin
+#: below that with an error naming the offending site.  Any physical
+#: campaign sits tens of orders of magnitude under this — reaching it
+#: means a poisoned BER or op census, not a big experiment.
+_POISSON_LAM_MAX = 9.0e18
+
 
 def bit_lengths(values: np.ndarray) -> np.ndarray:
     """Vectorized ``int.bit_length`` for non-negative int64 arrays.
@@ -266,6 +274,13 @@ class CounterSampler:
         """
         chunk = self.config.chunk_samples
         cap = self.config.max_events_per_category
+        if not np.isfinite(lam) or lam > _POISSON_LAM_MAX:
+            raise FaultModelError(
+                f"Poisson event rate {lam!r} for layer '{layer_name}' site "
+                f"'{site}' at BER {self.ber!r} exceeds the sampler's limit "
+                f"({_POISSON_LAM_MAX:.1e}); the BER or the site's op census "
+                "is corrupt"
+            )
         rng = site_rng(self.seed, layer_name, site, int(index))
         count = int(rng.poisson(lam))
         if count > cap:

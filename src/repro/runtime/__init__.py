@@ -26,6 +26,7 @@ from repro.runtime.engine import (
     resolve_workers,
 )
 from repro.runtime.hashing import (
+    adaptive_fingerprint,
     batch_task_keys,
     campaign_fingerprint,
     data_fingerprint,
@@ -58,6 +59,7 @@ __all__ = [
     "point_key",
     "task_key",
     "batch_task_keys",
+    "adaptive_fingerprint",
     "ProgressEvent",
     "ProgressReporter",
     "ThroughputMeter",

@@ -153,6 +153,8 @@ class CampaignCheckpoint:
         self._points: dict[str, _Result] = {}
         #: Keys put since the last flush, in completion order.
         self._pending: list[str] = []
+        #: Keys whose current result this process knows to be on disk.
+        self._persisted: set[str] = set()
         self._dirty = 0
         #: Full rewrite needed (legacy format or damaged lines on disk).
         self._rewrite = False
@@ -179,6 +181,7 @@ class CampaignCheckpoint:
                 stacklevel=3,
             )
         self._points = points
+        self._persisted = set(points)
         self.damaged_lines = damaged
         # Legacy documents and damaged files are compacted to clean
         # version-2 on the next flush rather than appended to.
@@ -195,7 +198,19 @@ class CampaignCheckpoint:
         return self._points.get(key)
 
     def put(self, key: str, result: _Result) -> None:
-        """Record a completed task; flushes every ``flush_every`` puts."""
+        """Record a completed task; flushes every ``flush_every`` puts.
+
+        Re-putting a key whose identical result is already persisted (or
+        already queued for the next flush) is a no-op: kill/resume loops
+        and adaptive re-submission would otherwise append a duplicate
+        line per pass and grow the store without bound.  A *different*
+        result for an existing key (a ``resume=False`` recompute) is
+        still appended and resolves last-line-wins.
+        """
+        if self._points.get(key) == result and (
+            key in self._persisted or key in self._pending
+        ):
+            return
         self._points[key] = result
         self._pending.append(key)
         self._dirty += 1
@@ -223,23 +238,45 @@ class CampaignCheckpoint:
             with open(self.path, "a", encoding="utf-8") as handle:
                 for key in self._pending:
                     handle.write(self._line(key))
+            self._persisted.update(self._pending)
+            self._pending.clear()
+            self._dirty = 0
         else:
-            if self.path.exists():
-                try:
-                    disk, _, _ = _parse_file(
-                        self.path, self.path.read_text(encoding="utf-8")
-                    )
-                except CheckpointError:
-                    disk = {}
-                for key, result in disk.items():
-                    self._points.setdefault(key, result)
-            tmp = self.path.with_suffix(f"{self.path.suffix}.{os.getpid()}.tmp")
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps({"version": _VERSION}) + "\n")
-                for key in sorted(self._points):
-                    handle.write(self._line(key))
-            os.replace(tmp, self.path)
-            self._rewrite = False
+            self._write_full()
+
+    def compact(self) -> None:
+        """Rewrite the file keeping exactly one (last-wins) row per key.
+
+        Opt-in maintenance for stores grown by long kill/resume loops or
+        pre-dedupe writers: the append-only fast path never rewrites, so
+        historical duplicate rows survive until someone asks.  Uses the
+        same merge + temp-file + atomic-rename path as damage compaction
+        (on-disk entries unknown to this process are preserved), and
+        clears :attr:`damaged_lines` — a damaged line has no row to keep.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_full()
+        self.damaged_lines = []
+
+    def _write_full(self) -> None:
+        """Merge-under, then atomically rewrite one sorted row per key."""
+        if self.path.exists():
+            try:
+                disk, _, _ = _parse_file(
+                    self.path, self.path.read_text(encoding="utf-8")
+                )
+            except CheckpointError:
+                disk = {}
+            for key, result in disk.items():
+                self._points.setdefault(key, result)
+        tmp = self.path.with_suffix(f"{self.path.suffix}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"version": _VERSION}) + "\n")
+            for key in sorted(self._points):
+                handle.write(self._line(key))
+        os.replace(tmp, self.path)
+        self._rewrite = False
+        self._persisted = set(self._points)
         self._pending.clear()
         self._dirty = 0
 

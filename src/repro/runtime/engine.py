@@ -70,7 +70,13 @@ seed and touches no shared mutable state, so scheduling cannot change any
 result: an engine batch with any worker count — or any mix of live and
 checkpointed subtasks — is **bit-identical** to the serial loops it
 replaces.  ``workers=1`` runs the subtasks in-process without a pool and
-is the serial path itself.
+is the serial path itself.  The ``on_result`` hook of
+:meth:`CampaignEngine.evaluate_tasks` extends the contract to incremental
+consumers: it observes every completed subtask as it lands (arrival
+order) but cannot cancel in-flight work, so the set of evaluated units —
+and with it every result and checkpoint entry — stays a pure function of
+the submitted batch.  Early-stop decisions (:mod:`repro.stats`) therefore
+happen *between* batches, on canonically ordered results.
 
 Worker-pool mechanics
 ---------------------
@@ -319,6 +325,7 @@ class CampaignEngine:
         labels: np.ndarray,
         tasks: list[TaskSpec],
         config: CampaignConfig | None = None,
+        on_result=None,
     ) -> list[SeedPointResult | CampaignResult]:
         """Evaluate a batch of tasks against one model; results in task order.
 
@@ -337,6 +344,20 @@ class CampaignEngine:
         seed subtask into sample-slice subtasks and folds each group back
         first).  All of it is bit-identical to evaluating the tasks
         serially in order, for any worker count and any slice size.
+
+        ``on_result`` is an optional **observation** hook called once per
+        completed subtask unit as ``on_result(index, unit, result,
+        cached)`` — cache-served units first (in unit-table index order),
+        then live units as the pool delivers them (arrival order, which
+        is scheduling-dependent).  It enables incremental reductions —
+        the adaptive drivers (:mod:`repro.stats.adaptive`) watch their
+        counts accumulate — but deliberately cannot cancel in-flight
+        work: the set of evaluated units is fixed when the batch is
+        submitted, so observation order can never change what gets
+        computed, keeping batches deterministic and checkpoints
+        partition-invariant.  Stop decisions belong *between* batches, at
+        round barriers, where they depend only on canonically ordered
+        results.
         """
         config = config or CampaignConfig()
         meter = ThroughputMeter()
@@ -391,6 +412,8 @@ class CampaignEngine:
                     meter, done, len(units), result, units[index].tag,
                     cached=True, elapsed=0.0,
                 )
+                if on_result is not None:
+                    on_result(index, units[index], result, True)
 
         # Golden run built only when live work remains that can actually
         # use it (faulty stream-scheme units bypass replay, so a stream
@@ -421,6 +444,8 @@ class CampaignEngine:
                     meter, done, len(units), result, units[index].tag,
                     cached=False, elapsed=elapsed,
                 )
+                if on_result is not None:
+                    on_result(index, units[index], result, False)
         if checkpoint is not None:
             checkpoint.flush()
 

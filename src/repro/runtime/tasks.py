@@ -41,6 +41,15 @@ hash is bound by the engine at dispatch time (tasks are model-relative;
 :meth:`CampaignEngine.evaluate_tasks` evaluates a batch of tasks against
 one model), and the ``tag`` deliberately does not contribute: the same
 evaluation reached from different figures shares one cache entry.
+
+The adaptive drivers (:mod:`repro.stats.adaptive`) lean on exactly that
+identity rule: an adaptive round tags its tasks ``"<tag>:r<round>"`` for
+progress display, but because rounds are scheduling — not content — the
+round number never enters the key.  A (BER, seed) unit evaluated by round
+3 of an adaptive sweep, by a fixed-grid run, or on resume after a kill is
+one checkpoint entry, and legacy keys are untouched.  Seeds an adaptive
+run extends *past* the configured campaign seeds get distinct keys
+naturally, the seed being part of every point key.
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.faultsim.campaign import CampaignConfig
+from repro.faultsim.campaign import CampaignConfig, validate_ber
 from repro.faultsim.protection import ProtectionPlan
 from repro.runtime.hashing import task_key
 
@@ -97,7 +106,13 @@ class TaskSpec:
     sample_slice: tuple[int, int] | None = None
 
     def __post_init__(self):
-        """Validate the point/seed-batch shape invariant."""
+        """Validate the BER and the point/seed-batch shape invariant.
+
+        The BER is validated here — the task boundary — because a NaN or
+        out-of-range value would otherwise be content-hashed into a
+        checkpoint key and persist as a row no resume can reconcile.
+        """
+        object.__setattr__(self, "ber", validate_ber(self.ber))
         if (self.seed is None) == (self.seeds is None):
             raise ConfigurationError(
                 "TaskSpec requires exactly one of seed= (point task) or "

@@ -2,8 +2,8 @@
 
 ``docs/RUNTIME.md`` documents the execution runtime; this gate keeps the
 in-code reference complete: every public module, class, function and
-method in :mod:`repro.runtime`, :mod:`repro.tmr` and
-:mod:`repro.faultsim` must carry a docstring.  The check is AST-based
+method in :mod:`repro.runtime`, :mod:`repro.tmr`, :mod:`repro.faultsim` and
+:mod:`repro.stats` must carry a docstring.  The check is AST-based
 (the same contract an ``interrogate`` run with ``--ignore-private``
 enforces) so it needs no third-party dependency and runs in tier-1 CI on
 every push.
@@ -32,10 +32,11 @@ import pytest
 
 import repro.faultsim
 import repro.runtime
+import repro.stats
 import repro.tmr
 
 #: Packages whose public APIs docs/RUNTIME.md promises are documented.
-GATED_PACKAGES = (repro.runtime, repro.tmr, repro.faultsim)
+GATED_PACKAGES = (repro.runtime, repro.tmr, repro.faultsim, repro.stats)
 
 
 
@@ -93,6 +94,7 @@ def test_gate_actually_covers_both_packages():
     runtime = [p for name, p in modules if name == "repro.runtime"]
     tmr = [p for name, p in modules if name == "repro.tmr"]
     faultsim = [p for name, p in modules if name == "repro.faultsim"]
+    stats = [p for name, p in modules if name == "repro.stats"]
     assert {p.name for p in runtime} == {
         "__init__.py", "checkpoint.py", "engine.py", "hashing.py",
         "progress.py", "tasks.py",
@@ -104,4 +106,7 @@ def test_gate_actually_covers_both_packages():
         "__init__.py", "abft.py", "campaign.py", "model.py",
         "neuron_level.py", "operation_level.py", "protection.py",
         "replay.py", "sampling.py", "sites.py",
+    }
+    assert {p.name for p in stats} == {
+        "__init__.py", "adaptive.py", "intervals.py", "sequential.py",
     }

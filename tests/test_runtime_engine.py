@@ -387,6 +387,89 @@ class TestProgressAndCheckpointStore:
         assert not issubclass(CheckpointError, json.JSONDecodeError)
 
 
+class TestCheckpointDedupe:
+    """``put`` must not append rows for already-persisted identical results.
+
+    Adaptive drivers re-submit settled units every round (the engine
+    consults the checkpoint per batch), so without dedupe a long adaptive
+    run would grow the file linearly with *rounds*, not with work.
+    """
+
+    def _result(self, accuracy=0.5):
+        from repro.faultsim import SeedPointResult
+
+        return SeedPointResult(ber=1e-5, seed=3, accuracy=accuracy, events=7)
+
+    def test_identical_reput_appends_nothing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        store.put("abc", self._result())
+        assert len(path.read_text().splitlines()) == 2  # header + 1 row
+        for _ in range(3):
+            store.put("abc", self._result())
+            store.flush()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_identical_reput_after_reopen_appends_nothing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CampaignCheckpoint(path).put("abc", self._result())
+        reopened = CampaignCheckpoint(path)
+        reopened.put("abc", self._result())
+        reopened.flush()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_changed_result_still_appends_last_wins(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        store.put("abc", self._result(accuracy=0.5))
+        store.put("abc", self._result(accuracy=0.75))
+        assert len(path.read_text().splitlines()) == 3
+        assert CampaignCheckpoint(path).get("abc") == self._result(accuracy=0.75)
+
+    def test_compact_keeps_one_last_wins_row_per_key(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        store.put("abc", self._result(accuracy=0.5))
+        store.put("abc", self._result(accuracy=0.75))
+        store.put("xyz", self._result(accuracy=0.25))
+        assert len(path.read_text().splitlines()) == 4
+        store.compact()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0]) == {"version": 2}
+        rows = {json.loads(line)["key"] for line in lines[1:]}
+        assert rows == {"abc", "xyz"}
+        reloaded = CampaignCheckpoint(path, strict=True)
+        assert reloaded.get("abc") == self._result(accuracy=0.75)
+        assert reloaded.get("xyz") == self._result(accuracy=0.25)
+
+    def test_compact_preserves_rows_from_other_writers(self, tmp_path):
+        path = tmp_path / "ck.json"
+        mine = CampaignCheckpoint(path)
+        mine.put("aaa", self._result(accuracy=0.5))
+        other = CampaignCheckpoint(path)
+        other.put("bbb", self._result(accuracy=0.25))
+        mine.compact()  # must merge-under, not truncate to its own view
+        merged = CampaignCheckpoint(path)
+        assert "aaa" in merged and "bbb" in merged and len(merged) == 2
+
+    def test_compact_repairs_damaged_lines(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CampaignCheckpoint(path)
+        store.put("abc", self._result())
+        store.put("xyz", self._result(accuracy=0.25))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # crash mid-write
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="damaged line"):
+            salvaged = CampaignCheckpoint(path)
+        assert salvaged.damaged_lines == [2] and len(salvaged) == 1
+        salvaged.compact()
+        assert salvaged.damaged_lines == []
+        clean = CampaignCheckpoint(path, strict=True)
+        assert "xyz" in clean and len(clean) == 1
+
+
 class TestCheckpointRobustness:
     """Damaged checkpoint lines: clean error, salvage, minimal recompute."""
 
