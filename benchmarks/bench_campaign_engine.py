@@ -18,6 +18,10 @@ time-slice one CPU; bit-identity is asserted unconditionally):
   ``CampaignEngine(replay=True)`` golden-run cache than through the same
   engine without it (golden-build time included), bit-identically.
 
+The distributed work-queue backend is also measured against the pool on
+the same sweep; it is gated on bit-identity only (single-host runs pay
+subprocess + SQLite coordination overhead by design).
+
 Run standalone for a timing report::
 
     PYTHONPATH=src python benchmarks/bench_campaign_engine.py [workers]
@@ -285,6 +289,47 @@ def run_replay_comparison(workers: int = 4) -> dict:
     }
 
 
+def run_distributed_comparison(workers: int = 4) -> dict:
+    """Time the same sweep through the pool vs the work-queue backend.
+
+    Measures the distributed backend's coordination overhead (worker
+    subprocess startup, SQLite leasing, shard tailing + merge) against
+    the fork pool's on the standard 8-unit sweep, and asserts the
+    contract that justifies it: bit-identical results.  The distributed
+    side is expected to be *slower* on one host — its value is going
+    wider than one host — so the interesting numbers are the absolute
+    overhead and the identity flag, not a speedup gate.
+    """
+    import tempfile
+
+    qmodel, x, y, config = build_workload()
+    bers = list(BERS)
+
+    pool = CampaignEngine(workers=workers)
+    start = time.perf_counter()
+    pool_results = pool.run_sweep(qmodel, x, y, bers, config=config)
+    pool_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as queue_dir:
+        distributed = CampaignEngine(
+            workers=workers, backend="distributed", queue_dir=queue_dir
+        )
+        start = time.perf_counter()
+        dist_results = distributed.run_sweep(qmodel, x, y, bers, config=config)
+        distributed_seconds = time.perf_counter() - start
+
+    return {
+        "units": len(bers) * len(config.seeds),
+        "workers": pool.workers,
+        "available_cores": resolve_workers(0),
+        "pool_seconds": pool_seconds,
+        "distributed_seconds": distributed_seconds,
+        "overhead_seconds": distributed_seconds - pool_seconds,
+        "bit_identical": [r.to_dict() for r in pool_results]
+        == [r.to_dict() for r in dist_results],
+    }
+
+
 def run_adaptive_comparison(workers: int = 4) -> dict:
     """Count (seed x point) units: fixed grid at full budget vs early stop.
 
@@ -398,6 +443,19 @@ def format_adaptive_report(stats: dict) -> str:
     )
 
 
+def format_distributed_report(stats: dict) -> str:
+    return (
+        f"distributed benchmark — {stats['units']} (BER, seed) units "
+        f"via the work-queue backend\n"
+        f"  available cores : {stats['available_cores']}\n"
+        f"  workers         : {stats['workers']}\n"
+        f"  pool            : {stats['pool_seconds']:.2f} s\n"
+        f"  distributed     : {stats['distributed_seconds']:.2f} s "
+        f"(+{stats['overhead_seconds']:.2f} s coordination)\n"
+        f"  bit-identical   : {stats['bit_identical']}"
+    )
+
+
 def format_planner_report(stats: dict) -> str:
     return (
         f"planner benchmark — {stats['iterations']} iterations "
@@ -507,6 +565,18 @@ def test_adaptive_saves_units():
     )
 
 
+def test_distributed_backend_parity():
+    """The work-queue backend must stay bit-identical to the pool on the
+    full benchmark sweep; overhead is reported but not gated (one host
+    pays subprocess + SQLite coordination costs the pool doesn't)."""
+    stats = run_distributed_comparison(workers=2)
+    print()
+    print(format_distributed_report(stats))
+    assert stats["bit_identical"], (
+        "distributed backend diverged from the pool on the benchmark sweep"
+    )
+
+
 if __name__ == "__main__":
     np.random.seed(0)
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -523,6 +593,7 @@ if __name__ == "__main__":
     sample_shard = run_sample_shard_comparison(workers=args.workers)
     replay = run_replay_comparison(workers=args.workers)
     adaptive = run_adaptive_comparison(workers=args.workers)
+    distributed = run_distributed_comparison(workers=args.workers)
     print(format_report(sweep))
     print(
         f"task-batch benchmark — {tasks['units']} protected tasks "
@@ -536,6 +607,7 @@ if __name__ == "__main__":
     print(format_sample_shard_report(sample_shard))
     print(format_replay_report(replay))
     print(format_adaptive_report(adaptive))
+    print(format_distributed_report(distributed))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
@@ -546,6 +618,7 @@ if __name__ == "__main__":
                     "sample_shard": sample_shard,
                     "replay": replay,
                     "adaptive": adaptive,
+                    "distributed": distributed,
                 },
                 handle, indent=2, sort_keys=True,
             )

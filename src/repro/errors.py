@@ -26,6 +26,25 @@ class CheckpointError(ConfigurationError):
     """
 
 
+class TaskExecutionError(ReproError):
+    """A campaign task failed while executing on a backend worker.
+
+    Raised by :class:`repro.runtime.CampaignEngine` for both backends —
+    a task that raises inside a forked pool worker and a task a
+    distributed queue quarantines after its retry budget — with the
+    failing task's identity attached, so campaign drivers report
+    failures uniformly regardless of where the work ran.
+    """
+
+    def __init__(self, message: str, task_key: str = "", tag: str = ""):
+        """Store the failing task's content-hash key and tag on the error."""
+        super().__init__(message)
+        #: Content-hash checkpoint key of the failing unit ("" if unknown).
+        self.task_key = task_key
+        #: The failing task's human-readable tag ("" if untagged).
+        self.tag = tag
+
+
 class QuantizationError(ReproError):
     """A fixed-point format or quantization request is invalid."""
 

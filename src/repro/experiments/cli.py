@@ -44,6 +44,15 @@ once its confidence interval is inside ``--ci-halfwidth`` (seed budget
 ``--max-seeds``).  Stopping decisions depend only on canonically ordered
 per-seed results, so adaptive runs stay bit-reproducible and resumable
 for any ``--workers``/``--shard-samples``/``--replay`` combination.
+
+``--backend distributed`` swaps the forked pool for the work-queue
+backend (:mod:`repro.runtime.distributed`): ``--workers`` worker
+*subprocesses* pull task leases from a SQLite queue under ``--queue``
+(default ``<results>/queue``) and report through per-worker checkpoint
+shards — bit-identical results, and resilient to worker death (lease
+expiry reclaims the task).  ``python -m repro.experiments.cli worker
+--queue DIR`` runs one such worker by hand against an existing batch
+directory.
 """
 
 from __future__ import annotations
@@ -84,8 +93,67 @@ def _shard_samples(value: str):
     return shard
 
 
+def _worker_main(argv: list[str]) -> int:
+    """Entry point of ``cli worker``: run one queue worker to completion.
+
+    Distinct from the figure interface — a worker serves exactly one
+    batch directory (prepared by a coordinating engine) and exits when
+    the batch settles, so fleets can be scripted with nothing but this
+    command and a shared filesystem.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments worker",
+        description="Pull-based campaign worker over one batch directory.",
+    )
+    parser.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="batch directory holding the payload, queue database and shards",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable worker identity; names the checkpoint shard "
+        "(default: worker-<host>-<pid>)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="sleep between claim attempts while leases are outstanding "
+        "elsewhere (default: 0.1)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N tasks (default: run until the "
+        "batch settles)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.runtime.distributed import run_worker
+
+    completed = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        poll=args.poll,
+        max_tasks=args.max_tasks,
+    )
+    print(f"worker finished: {completed} task(s) completed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, run the requested experiments, print reports."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures as text reports + JSON.",
@@ -195,7 +263,25 @@ def main(argv: list[str] | None = None) -> int:
         "default) or 'counter' (site-keyed partition-invariant draws, "
         "required by --shard-samples)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("pool", "distributed"),
+        default="pool",
+        help="campaign executor: 'pool' (forked multiprocessing pool, "
+        "default) or 'distributed' (work-queue worker subprocesses with "
+        "lease/heartbeat/retry; bit-identical results; pairs with "
+        "--workers)",
+    )
+    parser.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help="distributed backend only: directory for its batch "
+        "directories (default: <results>/queue)",
+    )
     args = parser.parse_args(argv)
+    if args.queue is not None and args.backend != "distributed":
+        parser.error("--queue requires --backend distributed")
 
     scheme = args.rng_scheme
     if args.shard_samples is not None:
@@ -239,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         progress=stream_reporter() if args.progress else None,
         sample_shard=args.shard_samples,
         replay=args.replay,
+        backend=args.backend,
+        queue=args.queue,
     )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:

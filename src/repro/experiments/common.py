@@ -68,6 +68,8 @@ def make_engine(
     progress=None,
     sample_shard: int | str | None = None,
     replay: bool = False,
+    backend: str = "pool",
+    queue: str | Path | None = None,
 ) -> CampaignEngine:
     """Campaign engine with the default checkpoint under ``results_dir()``.
 
@@ -77,9 +79,15 @@ def make_engine(
     sample slices (requires a counter-scheme profile; see the CLI's
     ``--shard-samples``); ``replay`` serves campaigns through the
     golden-run cache (CLI ``--replay``) — both change wall-clock only,
-    never results.
+    never results.  ``backend="distributed"`` executes batches through
+    the work-queue backend (CLI ``--backend distributed``) with its batch
+    directories under ``queue`` (default ``<results>/queue``) —
+    bit-identical to the pool.
     """
     path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
+    queue_dir = None
+    if backend == "distributed":
+        queue_dir = Path(queue) if queue else results_dir() / "queue"
     return CampaignEngine(
         workers=workers,
         checkpoint_path=path,
@@ -87,6 +95,8 @@ def make_engine(
         progress=progress,
         sample_shard=sample_shard,
         replay=replay,
+        backend=backend,
+        queue_dir=queue_dir,
     )
 
 

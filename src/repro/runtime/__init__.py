@@ -13,18 +13,27 @@ only its missing seeds recomputed, while results stay bit-identical to
 serial execution.  Accuracy sweeps (:meth:`CampaignEngine.run_sweep`,
 figs 1–2/6–7), layer vulnerability (Fig. 3), operation-type sensitivity
 (Fig. 4) and the TMR planner (Fig. 5, including its speculative mode) all
-route through the same engine.  See ``docs/RUNTIME.md`` for the full
-contract and ``docs/ARCHITECTURE.md`` for the data flow.
+route through the same engine.  Two executors sit behind the same API:
+the forked pool (default) and the distributed work-queue backend
+(``CampaignEngine(backend="distributed")`` — :mod:`repro.runtime.queue` +
+:mod:`repro.runtime.distributed`: SQLite task leases, heartbeats,
+stale-lease reclaim, retry/quarantine, per-worker checkpoint shards
+merged by content key), bit-identical to each other.  See
+``docs/RUNTIME.md`` for the full contract and ``docs/ARCHITECTURE.md``
+for the data flow.
 """
 
 from repro.runtime.checkpoint import CampaignCheckpoint
 from repro.runtime.engine import (
+    BACKEND_DISTRIBUTED,
+    BACKEND_POOL,
     CampaignEngine,
     SAMPLE_SHARD_AUTO,
     SweepStats,
     auto_sample_shard,
     resolve_workers,
 )
+from repro.runtime.queue import Lease, QueueStats, WorkQueue
 from repro.runtime.hashing import (
     adaptive_fingerprint,
     batch_task_keys,
@@ -48,8 +57,13 @@ __all__ = [
     "CampaignEngine",
     "CampaignCheckpoint",
     "SweepStats",
+    "BACKEND_DISTRIBUTED",
+    "BACKEND_POOL",
     "SAMPLE_SHARD_AUTO",
     "TaskSpec",
+    "WorkQueue",
+    "Lease",
+    "QueueStats",
     "auto_sample_shard",
     "resolve_workers",
     "model_fingerprint",

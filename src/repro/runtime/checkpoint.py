@@ -197,6 +197,43 @@ class CampaignCheckpoint:
         """Completed result for ``key``, or None if not checkpointed."""
         return self._points.get(key)
 
+    def items(self):
+        """Iterate ``(key, result)`` over every loaded entry (last-wins)."""
+        return self._points.items()
+
+    @classmethod
+    def merge_shards(
+        cls,
+        target: str | Path,
+        shards,
+        strict: bool = False,
+    ) -> "CampaignCheckpoint":
+        """Fold per-worker checkpoint shards into one store at ``target``.
+
+        Every shard is an ordinary checkpoint file (the distributed
+        backend's workers each append to their own), so merging is pure
+        content-key dedupe: rows duplicated across shards — a reclaimed
+        lease recomputed bit-identically by a second worker — collapse to
+        one entry, and any partition of rows into shards, read in any
+        order, loads identically to the single-file checkpoint the pool
+        backend would have written.  Corrupt-line salvage applies per
+        shard exactly as for a single file (``strict=True`` raises
+        instead); shard paths that do not exist are skipped — a spawned
+        worker that never claimed a task writes no shard.  An existing
+        ``target`` is merged into, never truncated.  The merged store is
+        flushed and returned.
+        """
+        merged = cls(target, flush_every=1_000_000_000, strict=strict)
+        for path in shards:
+            path = Path(path)
+            if not path.exists():
+                continue
+            shard = cls(path, strict=strict)
+            for key, result in shard.items():
+                merged.put(key, result)
+        merged.flush()
+        return merged
+
     def put(self, key: str, result: _Result) -> None:
         """Record a completed task; flushes every ``flush_every`` puts.
 

@@ -87,6 +87,21 @@ per-task pickling — the model and evaluation batch are megabytes, the
 dispatched unit a single integer index into the task table.  On platforms
 without ``fork`` the engine degrades to the serial path rather than
 failing.
+
+Distributed backend
+-------------------
+``CampaignEngine(backend="distributed", queue_dir=...)`` swaps the forked
+pool for the work-queue executor (:mod:`repro.runtime.distributed`): each
+batch becomes a directory holding a pickled payload, a SQLite queue of
+content-keyed task leases, and per-worker checkpoint shards; pull-based
+worker *subprocesses* claim leases, heartbeat them, evaluate units with
+this module's own :func:`_evaluate_unit`, and the shards merge back by
+content key.  Lease expiry reclaims work from dead workers and a bounded
+retry budget quarantines poison tasks
+(:class:`~repro.errors.TaskExecutionError` names the failing task's key
+and tag, for either backend).  The determinism contract is unchanged:
+every unit is a pure function of its spec, so accuracies, event counts
+and checkpoint keys are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -94,12 +109,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TaskExecutionError
 from repro.faultsim.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -132,6 +148,8 @@ from repro.runtime.tasks import TaskSpec
 __all__ = [
     "CampaignEngine",
     "SweepStats",
+    "BACKEND_DISTRIBUTED",
+    "BACKEND_POOL",
     "SAMPLE_SHARD_AUTO",
     "auto_sample_shard",
     "resolve_workers",
@@ -140,6 +158,15 @@ __all__ = [
 #: Sentinel accepted by ``CampaignEngine(sample_shard=...)`` / the CLI's
 #: ``--shard-samples auto``: pick the slice size per batch.
 SAMPLE_SHARD_AUTO = "auto"
+
+#: The default executor: a forked ``multiprocessing`` pool (or the serial
+#: in-process path for one worker / platforms without ``fork``).
+BACKEND_POOL = "pool"
+
+#: The work-queue executor: worker *subprocesses* pull leases from a
+#: SQLite-backed queue and report through checkpoint shards
+#: (:mod:`repro.runtime.distributed`).  Bit-identical results.
+BACKEND_DISTRIBUTED = "distributed"
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -212,6 +239,23 @@ class SweepStats:
 _WORKER_PAYLOAD: tuple | None = None
 
 
+@dataclass
+class _UnitFailure:
+    """A unit's exception, carried back through the executor in-band.
+
+    Raw exceptions crossing ``imap_unordered`` lose the failing task's
+    index (the pool re-raises them bare at the consumer), so workers
+    return this sentinel *as the result* instead: the consumer still
+    knows which unit failed and raises a
+    :class:`~repro.errors.TaskExecutionError` naming its checkpoint key
+    and tag — the same identity the distributed backend's quarantine
+    reports.
+    """
+
+    message: str
+    details: str
+
+
 def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec, golden=None):
     """Evaluate one subtask unit: a (BER, seed) point or a sample slice."""
     if task.sample_slice is None:
@@ -226,10 +270,20 @@ def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec, golden=None):
 
 
 def _run_task(index: int):
-    """Evaluate one task (by table index) inside a worker process."""
+    """Evaluate one task (by table index) inside a worker process.
+
+    Exceptions come back as :class:`_UnitFailure` results so the parent
+    can attach the failing unit's key and tag (see the sentinel's docs).
+    """
     qmodel, x, labels, config, tasks, golden = _WORKER_PAYLOAD
     start = time.perf_counter()
-    result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
+    try:
+        result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
+    except Exception as exc:
+        result = _UnitFailure(
+            message=f"{type(exc).__name__}: {exc}",
+            details=traceback.format_exc(),
+        )
     return index, result, time.perf_counter() - start
 
 
@@ -269,6 +323,27 @@ class CampaignEngine:
         copy-on-write with all workers; BER = 0 units become lookups and
         faulty counter-scheme units recompute only fault-touched samples.
         Results and checkpoint keys are bit-identical to ``replay=False``.
+    backend:
+        ``"pool"`` (default) executes pending units on the forked
+        ``multiprocessing`` pool; ``"distributed"`` hands each batch to
+        the work-queue backend (:mod:`repro.runtime.distributed`):
+        ``workers`` worker *subprocesses* pull leases from a SQLite
+        queue under ``queue_dir``, append results to per-worker
+        checkpoint shards, and the shards merge back by content key.
+        Results, event counts and checkpoint keys are bit-identical
+        across backends for every engine feature (sample sharding,
+        replay, resume, planners).
+    queue_dir:
+        Directory holding the distributed backend's batch directories
+        (queue database, payload, shards, logs).  Required when
+        ``backend="distributed"``; ignored for the pool backend.
+    lease_timeout:
+        Distributed only: seconds a claimed task's lease lasts without a
+        heartbeat before another worker may reclaim it.
+    max_attempts:
+        Distributed only: claim attempts per task before it is
+        quarantined as poison and the batch fails with
+        :class:`~repro.errors.TaskExecutionError`.
     """
 
     def __init__(
@@ -280,8 +355,28 @@ class CampaignEngine:
         progress: ProgressReporter | None = None,
         sample_shard: int | str | None = None,
         replay: bool = False,
+        backend: str = BACKEND_POOL,
+        queue_dir: str | Path | None = None,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
     ):
         self.workers = resolve_workers(workers)
+        if backend not in (BACKEND_POOL, BACKEND_DISTRIBUTED):
+            raise ConfigurationError(
+                f"backend must be '{BACKEND_POOL}' or '{BACKEND_DISTRIBUTED}', "
+                f"got {backend!r}"
+            )
+        if backend == BACKEND_DISTRIBUTED and queue_dir is None:
+            raise ConfigurationError(
+                "the distributed backend needs a queue_dir to hold its "
+                "batch directories (queue database, payload, shards)"
+            )
+        self.backend = backend
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        #: Batches dispatched so far (names distributed batch directories).
+        self._batch_count = 0
         if isinstance(sample_shard, str):
             if sample_shard != SAMPLE_SHARD_AUTO:
                 raise ConfigurationError(
@@ -426,16 +521,27 @@ class CampaignEngine:
         golden = (
             self._golden_run(qmodel, x, labels, config)
             if self.replay and pending and replay_usable
+            and self.backend != BACKEND_DISTRIBUTED
             else None
         )
         payload = (qmodel, x, labels, config, units, golden)
         if pending:
-            executor = (
-                self._run_parallel
-                if self.workers > 1 and len(pending) > 1 and _fork_context() is not None
-                else self._run_serial
-            )
-            for index, result, elapsed in executor(payload, pending):
+            if self.backend == BACKEND_DISTRIBUTED:
+                executor = self._run_distributed(payload, pending, keys)
+            else:
+                runner = (
+                    self._run_parallel
+                    if self.workers > 1
+                    and len(pending) > 1
+                    and _fork_context() is not None
+                    else self._run_serial
+                )
+                executor = runner(payload, pending)
+            for index, result, elapsed in executor:
+                if isinstance(result, _UnitFailure):
+                    self._raise_unit_failure(
+                        qmodel, x, labels, config, units, keys, index, result
+                    )
                 slots[index] = result
                 done += 1
                 if checkpoint is not None:
@@ -601,11 +707,47 @@ class CampaignEngine:
         units: list[TaskSpec],
         config: CampaignConfig,
     ) -> list[str]:
-        """Checkpoint keys for a subtask-granularity unit table."""
-        if self.checkpoint_path is None:
+        """Checkpoint keys for a subtask-granularity unit table.
+
+        Without a checkpoint the pool backend never consults the keys,
+        so they are skipped (hashing the model costs a pass over its
+        weights); the distributed backend always needs them — they are
+        the queue's task identities and the shard rows' content keys.
+        """
+        if self.checkpoint_path is None and self.backend != BACKEND_DISTRIBUTED:
             return [""] * len(units)
         model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
         return batch_task_keys(model_fp, data_fp, config, units)
+
+    def _raise_unit_failure(
+        self,
+        qmodel: QuantizedModel,
+        x: np.ndarray,
+        labels: np.ndarray,
+        config: CampaignConfig,
+        units: list[TaskSpec],
+        keys: list[str],
+        index: int,
+        failure: _UnitFailure,
+    ) -> None:
+        """Raise a failed unit as :class:`TaskExecutionError` with identity.
+
+        Attaches the failing unit's content-hash key and tag — computing
+        the key on demand when the batch ran keyless (pool backend
+        without a checkpoint) — so pool and distributed failures read
+        the same.
+        """
+        unit = units[index]
+        key = keys[index]
+        if not key:
+            model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
+            key = unit.key(model_fp, data_fp, config)
+        raise TaskExecutionError(
+            f"task {key} (tag {unit.tag!r}) failed in a {self.backend} "
+            f"worker: {failure.message}\n{failure.details}",
+            task_key=key,
+            tag=unit.tag,
+        )
 
     def _golden_run(
         self,
@@ -662,11 +804,58 @@ class CampaignEngine:
         )
 
     def _run_serial(self, payload: tuple, pending: list[int]):
+        """In-process executor; failures come back as :class:`_UnitFailure`.
+
+        Wrapping the serial path too keeps failure reporting identical
+        across ``workers=1``, the pool and the distributed backend: the
+        consumer always sees the failing unit's index and raises with
+        its key and tag attached.
+        """
         qmodel, x, labels, config, tasks, golden = payload
         for index in pending:
             start = time.perf_counter()
-            result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
+            try:
+                result = _evaluate_unit(
+                    qmodel, x, labels, config, tasks[index], golden
+                )
+            except Exception as exc:
+                result = _UnitFailure(
+                    message=f"{type(exc).__name__}: {exc}",
+                    details=traceback.format_exc(),
+                )
             yield index, result, time.perf_counter() - start
+
+    def _run_distributed(self, payload: tuple, pending: list[int], keys):
+        """Work-queue executor: one batch directory under ``queue_dir``.
+
+        Delegates to :func:`repro.runtime.distributed.run_distributed_batch`
+        (imported lazily — the distributed module imports back into this
+        one for ``_evaluate_unit``).  Each batch gets its own directory,
+        named by PID and a per-engine counter; because queue entries and
+        shard rows are content-keyed, even a recycled directory only ever
+        deduplicates work, never corrupts it.  The coordinator does not
+        build a golden run — each worker process builds its own, being in
+        another address space — so the payload's golden slot is ignored.
+        """
+        from repro.runtime.distributed import run_distributed_batch
+
+        qmodel, x, labels, config, units, _ = payload
+        root = self.queue_dir / f"batch-{os.getpid()}-{self._batch_count:04d}"
+        self._batch_count += 1
+        yield from run_distributed_batch(
+            root,
+            qmodel,
+            x,
+            labels,
+            config,
+            units,
+            keys,
+            pending,
+            workers=self.workers,
+            replay=self.replay,
+            lease_timeout=self.lease_timeout,
+            max_attempts=self.max_attempts,
+        )
 
     def _run_parallel(self, payload: tuple, pending: list[int]):
         global _WORKER_PAYLOAD

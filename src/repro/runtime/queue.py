@@ -1,0 +1,405 @@
+"""SQLite-backed work queue: task lease, heartbeat, retry, quarantine.
+
+:class:`WorkQueue` is the coordination substrate of the distributed
+campaign backend (:mod:`repro.runtime.distributed`): a single SQLite file
+inside the queue directory that any number of worker *processes* — on one
+host over a shared filesystem — claim tasks from.  The queue stores only
+task *identities* (the content-hash checkpoint key) plus a small opaque
+JSON spec; the heavy evaluation payload (model, data, unit table) travels
+out-of-band in the batch's payload file, and results travel back through
+per-worker checkpoint shards.  Identical keys enqueue once — the queue
+dedupes work exactly like the checkpoint dedupes results.
+
+Protocol
+--------
+A task moves through four states::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                 │ │
+       │     fail (attempts < budget)
+       └─────────────────┘ └──fail / stale reclaim (budget spent)──▶ quarantined
+
+* **claim** atomically leases the oldest ``pending`` task — or a
+  ``leased`` task whose lease has *expired* (its worker stopped
+  heartbeating: crashed, was SIGKILLed, or lost the host) — to one owner
+  for ``lease_timeout`` seconds, incrementing its attempt counter.
+  Claims are serialized by an ``BEGIN IMMEDIATE`` transaction, so two
+  concurrent claimants can never hold the same task while a lease is
+  valid.
+* **heartbeat** extends a held lease; workers beat a few times per
+  timeout from a background thread so long evaluations are never
+  reclaimed from a *live* worker.
+* **complete** marks a task done.  Completion is accepted even from an
+  owner whose lease has been reclaimed: results are content-addressed,
+  so a double-computed task yields byte-identical rows and completing
+  either copy is correct.
+* **fail / quarantine** — a failed task returns to ``pending`` until its
+  attempt budget (``max_attempts`` claims) is spent, then it is
+  quarantined with the failing task key and last error recorded; a stale
+  lease whose budget is already spent quarantines at reclaim time.
+  Quarantined tasks are never claimed again — one poison task cannot
+  wedge the queue.
+
+Queue policy (``lease_timeout``, ``max_attempts``) is written to the
+database by whoever creates it (the coordinator) and inherited by every
+later opener (the workers), so policy lives in exactly one place.
+
+Every mutating operation opens a short-lived connection: the queue object
+is therefore safe to share across threads (the worker's heartbeat thread)
+and trivially safe across ``fork``.  Timestamps use the wall clock
+(``time.time``) because leases must be comparable *across processes*; an
+injectable ``clock`` keeps the expiry logic unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Lease", "QueueStats", "WorkQueue"]
+
+#: Task lifecycle states (``state`` column values).
+STATE_PENDING = "pending"
+STATE_LEASED = "leased"
+STATE_DONE = "done"
+STATE_QUARANTINED = "quarantined"
+
+_DB_NAME = "queue.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    rowid INTEGER PRIMARY KEY AUTOINCREMENT,
+    key TEXT NOT NULL UNIQUE,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    owner TEXT,
+    lease_expiry REAL,
+    error TEXT
+);
+CREATE TABLE IF NOT EXISTS meta (
+    k TEXT PRIMARY KEY,
+    v TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed task: what to compute and under which lease terms.
+
+    ``attempt`` counts this claim (1 = first execution); ``expires`` is
+    the wall-clock deadline after which the lease is reclaimable unless
+    extended by :meth:`WorkQueue.heartbeat`.
+    """
+
+    key: str
+    spec: dict
+    attempt: int
+    owner: str
+    expires: float
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """State counts of a queue at one point in time."""
+
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    quarantined: int = 0
+
+    @property
+    def total(self) -> int:
+        """All tasks ever enqueued (in any state)."""
+        return self.pending + self.leased + self.done + self.quarantined
+
+    @property
+    def settled(self) -> bool:
+        """True when no task can make further progress (done/quarantined)."""
+        return self.pending == 0 and self.leased == 0
+
+
+class WorkQueue:
+    """Multi-process task queue with leases, bounded retry and quarantine.
+
+    Parameters
+    ----------
+    root:
+        Queue directory; the SQLite database lives at
+        ``<root>/queue.sqlite`` and is created on first use.
+    lease_timeout:
+        Seconds a claim stays exclusive without a heartbeat.  Recorded in
+        the database by the queue's *creator*; later openers inherit the
+        recorded value (their argument is ignored), so coordinator policy
+        governs every worker.
+    max_attempts:
+        Claim budget per task.  A task failed (or lease-reclaimed) with
+        its budget spent is quarantined instead of retried.  Inherited
+        from the creator like ``lease_timeout``.
+    clock:
+        Time source returning seconds (default ``time.time``).  Leases
+        are compared across processes, so any replacement must be a wall
+        clock; tests inject a fake to exercise expiry without sleeping.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        clock=time.time,
+    ):
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be > 0 seconds, got {lease_timeout}"
+            )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.root = Path(root)
+        self.db_path = self.root / _DB_NAME
+        self.clock = clock
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+            # First creator wins: policy is stored once and shared.
+            with self._transaction(conn):
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
+                    ("lease_timeout", repr(float(lease_timeout))),
+                )
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
+                    ("max_attempts", str(int(max_attempts))),
+                )
+            rows = dict(conn.execute("SELECT k, v FROM meta"))
+        self.lease_timeout = float(rows["lease_timeout"])
+        self.max_attempts = int(rows["max_attempts"])
+
+    def _connect(self):
+        """Short-lived autocommit connection, closed on context exit.
+
+        One connection per operation keeps the queue object safe to use
+        from the worker's heartbeat thread and across ``fork`` — SQLite
+        connections are bound to a thread/process, the database file is
+        not.
+        """
+        conn = sqlite3.connect(str(self.db_path), timeout=30.0, isolation_level=None)
+        conn.execute("PRAGMA busy_timeout = 30000")
+        return contextlib.closing(conn)
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _transaction(conn: sqlite3.Connection):
+        """``BEGIN IMMEDIATE`` write transaction; rolls back on error.
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front, serializing
+        concurrent claimants: the read-decide-update sequence inside a
+        claim is atomic with respect to every other queue writer.
+        """
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    # --- producer side ------------------------------------------------------------
+    def enqueue(self, items) -> int:
+        """Add ``(key, spec_dict)`` tasks; returns how many were *new*.
+
+        Keys are content hashes, so re-enqueueing an existing key — from
+        a retried batch, or a second campaign sharing units with a first
+        — is a no-op: the queue holds one row per distinct computation,
+        whatever state it is already in.
+        """
+        rows = [(key, json.dumps(spec, sort_keys=True)) for key, spec in items]
+        with self._connect() as conn:
+            with self._transaction(conn):
+                before = conn.execute("SELECT COUNT(*) FROM tasks").fetchone()[0]
+                conn.executemany(
+                    "INSERT OR IGNORE INTO tasks (key, spec) VALUES (?, ?)", rows
+                )
+                after = conn.execute("SELECT COUNT(*) FROM tasks").fetchone()[0]
+        return after - before
+
+    # --- worker side --------------------------------------------------------------
+    def claim(self, owner: str, now: float | None = None) -> Lease | None:
+        """Atomically lease the oldest claimable task, or return ``None``.
+
+        Claimable = ``pending``, or ``leased`` with an expired lease
+        (stale-lease reclaim).  A reclaimed task whose attempt budget is
+        already spent is quarantined instead — its worker died (or
+        stalled past its lease) ``max_attempts`` times, which is as
+        poisonous as failing that many times — and the scan continues to
+        the next claimable task.  ``None`` means nothing is claimable
+        *right now*; the queue may still hold valid leases
+        (:meth:`stats` distinguishes drained from busy).
+        """
+        now = self.clock() if now is None else now
+        with self._connect() as conn:
+            with self._transaction(conn):
+                while True:
+                    row = conn.execute(
+                        "SELECT key, spec, attempts, owner FROM tasks "
+                        "WHERE state = ? OR (state = ? AND lease_expiry <= ?) "
+                        "ORDER BY rowid LIMIT 1",
+                        (STATE_PENDING, STATE_LEASED, now),
+                    ).fetchone()
+                    if row is None:
+                        return None
+                    key, spec, attempts, prev_owner = row
+                    if attempts >= self.max_attempts:
+                        conn.execute(
+                            "UPDATE tasks SET state = ?, owner = NULL, "
+                            "lease_expiry = NULL, error = ? WHERE key = ?",
+                            (
+                                STATE_QUARANTINED,
+                                f"task {key} quarantined: lease expired after "
+                                f"{attempts} attempt(s) (last owner "
+                                f"{prev_owner!r}) and the retry budget of "
+                                f"{self.max_attempts} is spent",
+                                key,
+                            ),
+                        )
+                        continue
+                    conn.execute(
+                        "UPDATE tasks SET state = ?, owner = ?, "
+                        "lease_expiry = ?, attempts = attempts + 1 WHERE key = ?",
+                        (STATE_LEASED, owner, now + self.lease_timeout, key),
+                    )
+                    return Lease(
+                        key=key,
+                        spec=json.loads(spec),
+                        attempt=attempts + 1,
+                        owner=owner,
+                        expires=now + self.lease_timeout,
+                    )
+
+    def heartbeat(self, key: str, owner: str, now: float | None = None) -> bool:
+        """Extend a held lease; returns False when the lease was lost.
+
+        A False return means the task expired and was reclaimed (or
+        finished) elsewhere — the worker may keep computing (completion
+        stays correct, results being content-addressed) but should not
+        assume exclusivity.
+        """
+        now = self.clock() if now is None else now
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET lease_expiry = ? "
+                "WHERE key = ? AND owner = ? AND state = ?",
+                (now + self.lease_timeout, key, owner, STATE_LEASED),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, key: str, owner: str) -> None:
+        """Mark a task done (idempotent, accepted even from a lost lease).
+
+        Two workers can legitimately complete one task — the second
+        computed a reclaimed copy — and their shard rows are identical by
+        content addressing, so completion never checks ownership.
+        """
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE tasks SET state = ?, owner = ?, lease_expiry = NULL, "
+                "error = NULL WHERE key = ?",
+                (STATE_DONE, owner, key),
+            )
+
+    def fail(
+        self, key: str, owner: str, error: str, now: float | None = None
+    ) -> bool:
+        """Record a failed execution; returns True when it quarantined.
+
+        Within budget the task returns to ``pending`` (any worker may
+        retry it); once ``max_attempts`` claims have failed it is
+        quarantined with the failing task key and this error recorded,
+        and will never be claimed again.
+        """
+        with self._connect() as conn:
+            with self._transaction(conn):
+                row = conn.execute(
+                    "SELECT attempts FROM tasks WHERE key = ? AND state = ?",
+                    (key, STATE_LEASED),
+                ).fetchone()
+                if row is None:
+                    return False
+                attempts = row[0]
+                if attempts >= self.max_attempts:
+                    conn.execute(
+                        "UPDATE tasks SET state = ?, owner = NULL, "
+                        "lease_expiry = NULL, error = ? WHERE key = ?",
+                        (
+                            STATE_QUARANTINED,
+                            f"task {key} quarantined after {attempts} "
+                            f"attempt(s); last error ({owner}): {error}",
+                            key,
+                        ),
+                    )
+                    return True
+                conn.execute(
+                    "UPDATE tasks SET state = ?, owner = NULL, "
+                    "lease_expiry = NULL, error = ? WHERE key = ?",
+                    (STATE_PENDING, error, key),
+                )
+                return False
+
+    # --- observation --------------------------------------------------------------
+    def stats(self) -> QueueStats:
+        """Current per-state task counts."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) FROM tasks GROUP BY state"
+            ).fetchall()
+        return QueueStats(**{state: count for state, count in rows})
+
+    def has_work(self) -> bool:
+        """True while any task is pending or leased (progress possible)."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM tasks WHERE state IN (?, ?) LIMIT 1",
+                (STATE_PENDING, STATE_LEASED),
+            ).fetchone()
+        return row is not None
+
+    def quarantined(self) -> list[tuple[str, int, str]]:
+        """``(key, attempts, error)`` for every quarantined task."""
+        with self._connect() as conn:
+            return list(
+                conn.execute(
+                    "SELECT key, attempts, error FROM tasks "
+                    "WHERE state = ? ORDER BY rowid",
+                    (STATE_QUARANTINED,),
+                )
+            )
+
+    def task(self, key: str) -> dict | None:
+        """Full row for one task (state/attempts/owner/...), or None."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT key, spec, state, attempts, owner, lease_expiry, error "
+                "FROM tasks WHERE key = ?",
+                (key,),
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "key": row[0],
+            "spec": json.loads(row[1]),
+            "state": row[2],
+            "attempts": row[3],
+            "owner": row[4],
+            "lease_expiry": row[5],
+            "error": row[6],
+        }

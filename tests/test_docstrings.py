@@ -96,8 +96,8 @@ def test_gate_actually_covers_both_packages():
     faultsim = [p for name, p in modules if name == "repro.faultsim"]
     stats = [p for name, p in modules if name == "repro.stats"]
     assert {p.name for p in runtime} == {
-        "__init__.py", "checkpoint.py", "engine.py", "hashing.py",
-        "progress.py", "tasks.py",
+        "__init__.py", "checkpoint.py", "distributed.py", "engine.py",
+        "hashing.py", "progress.py", "queue.py", "tasks.py",
     }
     assert {p.name for p in tmr} == {
         "__init__.py", "cost.py", "planner.py", "schemes.py",

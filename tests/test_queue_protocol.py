@@ -1,0 +1,247 @@
+"""Unit tests for the distributed backend's work-queue protocol.
+
+The :class:`repro.runtime.WorkQueue` contract: claims are exclusive while
+a lease is valid, expired leases are reclaimable (with the attempt budget
+charged), the budget's exhaustion quarantines the task with its key in
+the recorded error, and a settled queue sends workers home.  Expiry logic
+is exercised with explicit ``now=`` timestamps — no sleeping — and the
+double-claim exclusion with genuinely concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import Lease, WorkQueue
+from repro.runtime.distributed import run_worker, write_payload
+from repro.runtime.queue import (
+    STATE_DONE,
+    STATE_LEASED,
+    STATE_PENDING,
+    STATE_QUARANTINED,
+)
+
+KEYS = [f"task-{i:02d}" for i in range(6)]
+
+
+def fill(queue, keys=KEYS):
+    queue.enqueue((key, {"index": i}) for i, key in enumerate(keys))
+
+
+class TestEnqueue:
+    def test_enqueue_counts_new_rows_only(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        assert q.enqueue((k, {}) for k in KEYS[:4]) == 4
+        # Re-enqueueing existing keys (plus two new ones) adds only the new.
+        assert q.enqueue((k, {}) for k in KEYS) == 2
+        assert q.stats().pending == len(KEYS)
+
+    def test_spec_round_trips(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        q.enqueue([("k", {"index": 3, "tag": "fig2/st"})])
+        lease = q.claim("w0")
+        assert lease.spec == {"index": 3, "tag": "fig2/st"}
+
+    def test_policy_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            WorkQueue(tmp_path, lease_timeout=0.0)
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            WorkQueue(tmp_path, max_attempts=0)
+
+    def test_creator_policy_wins(self, tmp_path):
+        WorkQueue(tmp_path, lease_timeout=7.0, max_attempts=5)
+        # A later opener's arguments are ignored: policy lives in the DB.
+        q = WorkQueue(tmp_path, lease_timeout=99.0, max_attempts=1)
+        assert q.lease_timeout == 7.0
+        assert q.max_attempts == 5
+
+
+class TestLeaseExpiry:
+    def test_claim_orders_by_enqueue(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        fill(q)
+        assert [q.claim("w0").key for _ in range(3)] == KEYS[:3]
+
+    def test_valid_lease_is_exclusive(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=30.0)
+        fill(q, KEYS[:1])
+        lease = q.claim("w0", now=100.0)
+        assert isinstance(lease, Lease)
+        assert lease.expires == 130.0
+        assert q.claim("w1", now=129.9) is None
+
+    def test_expired_lease_reclaims_at_boundary(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=30.0)
+        fill(q, KEYS[:1])
+        first = q.claim("w0", now=100.0)
+        second = q.claim("w1", now=130.0)
+        assert second is not None
+        assert second.key == first.key
+        assert second.attempt == 2
+        assert q.task(second.key)["owner"] == "w1"
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=30.0)
+        fill(q, KEYS[:1])
+        q.claim("w0", now=100.0)
+        assert q.heartbeat(KEYS[0], "w0", now=120.0)
+        assert q.claim("w1", now=140.0) is None  # extended to 150
+        assert q.claim("w1", now=150.0) is not None
+
+    def test_heartbeat_reports_lost_lease(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=30.0)
+        fill(q, KEYS[:1])
+        q.claim("w0", now=100.0)
+        q.claim("w1", now=200.0)  # reclaimed from w0
+        assert not q.heartbeat(KEYS[0], "w0", now=201.0)
+        assert q.heartbeat(KEYS[0], "w1", now=201.0)
+
+    def test_complete_accepted_from_lost_lease(self, tmp_path):
+        # Results are content-addressed: a double-computed task is
+        # byte-identical, so either owner's completion is correct.
+        q = WorkQueue(tmp_path, lease_timeout=30.0)
+        fill(q, KEYS[:1])
+        q.claim("w0", now=100.0)
+        q.claim("w1", now=200.0)
+        q.complete(KEYS[0], "w0")
+        assert q.task(KEYS[0])["state"] == STATE_DONE
+        assert q.stats().settled
+
+
+class TestDoubleClaimExclusion:
+    def test_concurrent_claimants_never_share_a_task(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=60.0)
+        fill(q)  # 6 tasks, 12 claimants
+        claims: list[Lease | None] = [None] * 12
+        barrier = threading.Barrier(len(claims))
+
+        def worker(slot):
+            # Each thread opens its own connection inside claim(); the
+            # barrier maximizes actual overlap of the BEGIN IMMEDIATE
+            # transactions.
+            barrier.wait()
+            claims[slot] = q.claim(f"w{slot}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(claims))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        won = [lease for lease in claims if lease is not None]
+        assert len(won) == len(KEYS)  # every task claimed exactly once
+        assert sorted(lease.key for lease in won) == sorted(KEYS)
+        assert all(lease.attempt == 1 for lease in won)
+
+
+class TestRetryAndQuarantine:
+    def test_fail_within_budget_returns_to_pending(self, tmp_path):
+        q = WorkQueue(tmp_path, max_attempts=3)
+        fill(q, KEYS[:1])
+        q.claim("w0")
+        assert not q.fail(KEYS[0], "w0", "ZeroDivisionError: boom")
+        row = q.task(KEYS[0])
+        assert row["state"] == STATE_PENDING
+        assert row["error"] == "ZeroDivisionError: boom"
+        assert q.claim("w1").attempt == 2
+
+    def test_budget_exhaustion_quarantines_with_key_in_error(self, tmp_path):
+        q = WorkQueue(tmp_path, max_attempts=2)
+        fill(q, KEYS[:2])
+        q.claim("w0")
+        q.fail(KEYS[0], "w0", "first failure")
+        q.claim("w0")
+        assert q.fail(KEYS[0], "w0", "second failure")
+        (key, attempts, error), = q.quarantined()
+        assert key == KEYS[0]
+        assert attempts == 2
+        assert KEYS[0] in error  # the failing task key is in the error
+        assert "second failure" in error
+        # The poison task is never claimable again; the healthy one is.
+        assert q.claim("w1").key == KEYS[1]
+        assert q.claim("w1") is None
+
+    def test_stale_reclaim_with_spent_budget_quarantines(self, tmp_path):
+        q = WorkQueue(tmp_path, lease_timeout=30.0, max_attempts=1)
+        fill(q, KEYS[:2])
+        q.claim("w0", now=100.0)  # attempt 1 of 1, then the worker "dies"
+        # The next claimant reclaims the expired lease, sees the budget
+        # spent, quarantines it, and moves on to the healthy task.
+        lease = q.claim("w1", now=200.0)
+        assert lease.key == KEYS[1]
+        (key, _, error), = q.quarantined()
+        assert key == KEYS[0]
+        assert key in error and "lease expired" in error
+
+    def test_settled_states(self, tmp_path):
+        q = WorkQueue(tmp_path, max_attempts=1)
+        fill(q, KEYS[:3])
+        lease = q.claim("w0")
+        q.complete(lease.key, "w0")
+        lease = q.claim("w0")
+        q.fail(lease.key, "w0", "boom")
+        assert q.has_work()  # one task still pending
+        lease = q.claim("w0")
+        q.complete(lease.key, "w0")
+        assert not q.has_work()
+        stats = q.stats()
+        assert stats.settled
+        assert (stats.done, stats.quarantined) == (2, 1)
+        assert stats.total == 3
+        assert q.task(KEYS[0])["state"] in (STATE_DONE, STATE_QUARANTINED)
+        assert q.task("missing") is None
+
+    def test_quarantine_survives_reopen(self, tmp_path):
+        q = WorkQueue(tmp_path, max_attempts=1)
+        fill(q, KEYS[:1])
+        q.claim("w0")
+        q.fail(KEYS[0], "w0", "boom")
+        reopened = WorkQueue(tmp_path)
+        assert reopened.quarantined()[0][0] == KEYS[0]
+        assert reopened.task(KEYS[0])["state"] == STATE_QUARANTINED
+
+
+class TestWorkerExit:
+    def test_worker_exits_on_settled_queue(self, tmp_path):
+        # A payload with an empty unit table is enough: the worker must
+        # notice there is nothing claimable and nothing in flight, and
+        # exit without evaluating anything.
+        write_payload(tmp_path, None, None, None, None, [], replay=False)
+        WorkQueue(tmp_path)
+        assert run_worker(tmp_path, worker_id="w0") == 0
+
+    def test_worker_exits_when_all_tasks_already_done(self, tmp_path):
+        write_payload(tmp_path, None, None, None, None, [], replay=False)
+        q = WorkQueue(tmp_path)
+        fill(q, KEYS[:2])
+        for key in KEYS[:2]:
+            lease = q.claim("other")
+            q.complete(lease.key, "other")
+        assert run_worker(tmp_path, worker_id="w0") == 0
+
+    def test_worker_leased_elsewhere_polls_then_exits(self, tmp_path):
+        # One task, permanently leased by a live "other" worker: the
+        # worker under test polls while the lease is valid and leaves
+        # once the other completes it.
+        write_payload(tmp_path, None, None, None, None, [], replay=False)
+        q = WorkQueue(tmp_path, lease_timeout=60.0)
+        fill(q, KEYS[:1])
+        lease = q.claim("other")
+
+        done = threading.Event()
+
+        def finish_soon():
+            done.wait(5.0)
+            q.complete(lease.key, "other")
+
+        finisher = threading.Thread(target=finish_soon)
+        finisher.start()
+        done.set()
+        try:
+            assert run_worker(tmp_path, worker_id="w0", poll=0.02) == 0
+        finally:
+            finisher.join()
