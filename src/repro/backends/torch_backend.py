@@ -1,0 +1,206 @@
+"""Optional PyTorch kernel backend (import-gated, bit-identical).
+
+Mirrors the optimized backend's strategy with torch ops: the f64-exact
+fast paths run as ``torch.matmul`` double-precision GEMMs (exact for the
+same mantissa-bound reason as the NumPy BLAS paths), and any stage whose
+magnitude bound exceeds the float64 window falls back to the exact int64
+reference kernels — so the backend honors the bit-identity contract on
+every input, not just the friendly ones.
+
+When torch is not importable, :data:`TORCH_AVAILABLE` is False and
+instantiating :class:`TorchBackend` raises
+:class:`~repro.errors.BackendUnavailableError`; the registry surfaces
+that as a clean configuration error and every torch-specific test skips.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.backends.base import EINSUM_PATHS, KernelBackend
+from repro.backends.reference import ReferenceBackend, materialize_cols
+from repro.errors import BackendUnavailableError
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    TORCH_AVAILABLE = True
+except Exception:  # pragma: no cover - ImportError or a broken install
+    torch = None
+    TORCH_AVAILABLE = False
+
+__all__ = ["TORCH_AVAILABLE", "TorchBackend"]
+
+#: Partial sums below this magnitude are exactly representable in f64.
+_F64_EXACT = 2**52
+
+
+def _to_f64(array: np.ndarray):
+    """Contiguous float64 torch tensor from an int64 NumPy array/view."""
+    return torch.from_numpy(
+        np.ascontiguousarray(array, dtype=np.float64)
+    )
+
+
+def _to_int64(tensor) -> np.ndarray:
+    """Fresh int64 NumPy array from an exact-integer f64 torch tensor."""
+    return tensor.numpy().astype(np.int64)
+
+
+class TorchBackend(KernelBackend):
+    """Torch f64 GEMM fast paths; exact int64 reference fallbacks."""
+
+    name = "torch"
+
+    def __init__(self):
+        """Fail fast with a clean error when torch is not importable."""
+        if not TORCH_AVAILABLE:
+            raise BackendUnavailableError(
+                "the 'torch' kernel backend requires PyTorch, which is not "
+                "importable in this environment; use 'reference' or "
+                "'optimized' instead"
+            )
+        self._reference = ReferenceBackend()
+        #: (stage, m, r) -> (kron(M, M) as f64 tensor, max abs row sum).
+        self._fused: dict = {}
+
+    # --- internal helpers ----------------------------------------------------
+    def _fused_matrix(self, stage: str, tf, matrix: np.ndarray) -> tuple:
+        """``(kron(M, M) as torch f64, max abs row sum)`` per stage."""
+        key = (stage, tf.m, tf.r)
+        entry = self._fused.get(key)
+        if entry is None:
+            mat = np.asarray(matrix, dtype=np.int64)
+            kron = np.kron(mat, mat)
+            bound = int(np.abs(kron).sum(axis=1).max())
+            entry = (torch.from_numpy(kron.astype(np.float64)), bound)
+            self._fused[key] = entry
+        return entry
+
+    def _fused_transform(
+        self, stage: str, tf, matrix: np.ndarray, arr: np.ndarray,
+        bound: int | None, out_tile: int,
+    ):
+        """Shared kron-GEMM body of the input/output transforms."""
+        kron_f, amp = self._fused_matrix(stage, tf, matrix)
+        a_max = (
+            int(bound) if bound is not None else int(np.abs(arr).max(initial=0))
+        )
+        if a_max * amp >= _F64_EXACT:
+            return None
+        n, c, t_count, th, tw = arr.shape
+        flat = _to_f64(arr).reshape(n * c * t_count, th * tw)
+        prod = torch.matmul(flat, kron_f.T)
+        return _to_int64(prod).reshape(n, c, t_count, out_tile, out_tile)
+
+    # --- protocol ------------------------------------------------------------
+    def filter_transform(self, tf, weight_int: np.ndarray) -> np.ndarray:
+        """Offline per-model transform: delegates to the reference einsum."""
+        return self._reference.filter_transform(tf, weight_int)
+
+    def input_transform(
+        self, tf, tiles: np.ndarray, x_bound: int | None = None
+    ) -> np.ndarray:
+        """``B^T d B`` as a torch f64 kron GEMM; reference fallback."""
+        out = self._fused_transform("input", tf, tf.bt_int, tiles, x_bound, tf.t)
+        if out is None:
+            return self._reference.input_transform(tf, tiles, x_bound=x_bound)
+        return out
+
+    def output_transform(
+        self, tf, m_arr: np.ndarray, m_bound: int | None = None
+    ) -> np.ndarray:
+        """``A^T M A`` as a torch f64 kron GEMM; reference fallback."""
+        out = self._fused_transform("output", tf, tf.at_int, m_arr, m_bound, tf.m)
+        if out is None:
+            return self._reference.output_transform(tf, m_arr, m_bound=m_bound)
+        return out
+
+    def channel_reduce(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        u_bound: int | None = None,
+        v_bound: int | None = None,
+    ) -> np.ndarray:
+        """Batched torch f64 bmm when exact; reference int64 fallback."""
+        n, c, t_count, th, tw = u.shape
+        k = v.shape[0]
+        u_max = int(u_bound) if u_bound is not None else int(np.abs(u).max(initial=0))
+        v_max = int(v_bound) if v_bound is not None else int(np.abs(v).max(initial=0))
+        if u_max * v_max * c >= _F64_EXACT:
+            return self._reference.channel_reduce(u, v, u_bound=u_bound, v_bound=v_bound)
+        u_r = _to_f64(u.transpose(3, 4, 1, 0, 2)).reshape(th * tw, c, n * t_count)
+        v_r = _to_f64(v.transpose(2, 3, 0, 1)).reshape(th * tw, k, c)
+        m_r = torch.bmm(v_r, u_r)
+        return np.ascontiguousarray(
+            _to_int64(m_r)
+            .reshape(th, tw, k, n, t_count)
+            .transpose(3, 2, 4, 0, 1)
+        )
+
+    def im2col_gemm(
+        self,
+        weight2d: np.ndarray,
+        cols: np.ndarray,
+        w_bound: int | None = None,
+        x_bound: int | None = None,
+    ) -> np.ndarray:
+        """Torch f64 GEMM when exact; reference int64 fallback."""
+        cols = materialize_cols(cols)
+        w_max = (
+            int(w_bound) if w_bound is not None
+            else int(np.abs(weight2d).max(initial=0))
+        )
+        x_max = (
+            int(x_bound) if x_bound is not None
+            else int(np.abs(cols).max(initial=0))
+        )
+        if w_max * x_max * weight2d.shape[1] >= _F64_EXACT:
+            return self._reference.im2col_gemm(
+                weight2d, cols, w_bound=w_bound, x_bound=x_bound
+            )
+        acc = torch.matmul(_to_f64(weight2d), _to_f64(cols))
+        return _to_int64(acc)
+
+    def linear_gemm(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        w_bound: int | None = None,
+        x_bound: int | None = None,
+    ) -> np.ndarray:
+        """Torch f64 GEMM when exact; reference int64 fallback."""
+        w_max = (
+            int(w_bound) if w_bound is not None
+            else int(np.abs(weight).max(initial=0))
+        )
+        x_max = (
+            int(x_bound) if x_bound is not None
+            else int(np.abs(x).max(initial=0))
+        )
+        if w_max * x_max * weight.shape[1] >= _F64_EXACT:
+            return self._reference.linear_gemm(
+                x, weight, w_bound=w_bound, x_bound=x_bound
+            )
+        acc = torch.matmul(_to_f64(x), _to_f64(weight).T)
+        return _to_int64(acc)
+
+    def requantize(
+        self,
+        acc: np.ndarray,
+        acc_frac: int,
+        out_fmt,
+        extra_ratio: Fraction = Fraction(1),
+    ) -> np.ndarray:
+        """Exact rational requantization (delegates to the fixedpoint kernel)."""
+        return self._reference.requantize(acc, acc_frac, out_fmt, extra_ratio=extra_ratio)
+
+    def cache_stats(self) -> dict:
+        """Einsum-path counters plus the fused-matrix cache size."""
+        return {
+            "einsum_paths": EINSUM_PATHS.stats(),
+            "fused_transforms": {"size": len(self._fused)},
+        }

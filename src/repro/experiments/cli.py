@@ -45,6 +45,13 @@ once its confidence interval is inside ``--ci-halfwidth`` (seed budget
 per-seed results, so adaptive runs stay bit-reproducible and resumable
 for any ``--workers``/``--shard-samples``/``--replay`` combination.
 
+``--kernel-backend {reference,optimized,torch}`` selects the per-layer
+compute backend (:mod:`repro.backends`) for every model: the same int64
+results bit-for-bit — backends are differentially tested against the
+reference — so campaign checkpoints are shared across kernel backends;
+only wall-clock changes.  ``torch`` is available only where PyTorch is
+installed and fails with a clean error otherwise.
+
 ``--backend distributed`` swaps the forked pool for the work-queue
 backend (:mod:`repro.runtime.distributed`): ``--workers`` worker
 *subprocesses* pull task leases from a SQLite queue under ``--queue``
@@ -279,6 +286,17 @@ def main(argv: list[str] | None = None) -> int:
         help="distributed backend only: directory for its batch "
         "directories (default: <results>/queue)",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=("reference", "optimized", "torch"),
+        default=None,
+        help="per-layer compute backend for every model (see "
+        "repro.backends): 'reference' (default NumPy kernels), "
+        "'optimized' (fused-transform/scratch-buffer NumPy, same bits, "
+        "faster) or 'torch' (optional, needs PyTorch installed).  "
+        "Bit-identical by contract, so checkpoints are shared across "
+        "kernel backends",
+    )
     args = parser.parse_args(argv)
     if args.queue is not None and args.backend != "distributed":
         parser.error("--queue requires --backend distributed")
@@ -327,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         replay=args.replay,
         backend=args.backend,
         queue=args.queue,
+        kernel_backend=args.kernel_backend,
     )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:

@@ -70,6 +70,7 @@ def make_engine(
     replay: bool = False,
     backend: str = "pool",
     queue: str | Path | None = None,
+    kernel_backend: str | None = None,
 ) -> CampaignEngine:
     """Campaign engine with the default checkpoint under ``results_dir()``.
 
@@ -82,7 +83,10 @@ def make_engine(
     never results.  ``backend="distributed"`` executes batches through
     the work-queue backend (CLI ``--backend distributed``) with its batch
     directories under ``queue`` (default ``<results>/queue``) —
-    bit-identical to the pool.
+    bit-identical to the pool.  ``kernel_backend`` selects the per-layer
+    compute backend (CLI ``--kernel-backend``; see :mod:`repro.backends`)
+    applied to every model the engine evaluates — also bit-identical by
+    contract, so checkpoints stay shareable across kernel backends.
     """
     path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
     queue_dir = None
@@ -97,6 +101,7 @@ def make_engine(
         replay=replay,
         backend=backend,
         queue_dir=queue_dir,
+        kernel_backend=kernel_backend,
     )
 
 

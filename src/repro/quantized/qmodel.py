@@ -34,11 +34,38 @@ class QuantizedModel:
     input_shape: tuple[int, int, int]
     #: Fault-free float-graph accuracy reference, set by experiment drivers.
     metadata: dict = field(default_factory=dict)
+    #: Kernel backend serving the per-layer hot paths (see
+    #: :mod:`repro.backends`).  Execution strategy only: every backend is
+    #: bit-identical by contract, so this field is deliberately excluded
+    #: from model fingerprints and checkpoint keys.
+    kernel_backend: str = "reference"
 
     def __post_init__(self) -> None:
         self._by_name = {node.name: node for node in self.nodes}
         if self.output_name not in self._by_name:
             raise ConfigurationError(f"unknown output node '{self.output_name}'")
+        if self.kernel_backend != "reference":
+            self.set_kernel_backend(self.kernel_backend)
+
+    def set_kernel_backend(self, name: str) -> "QuantizedModel":
+        """Select the kernel backend for this model and all its nodes.
+
+        Validates the name against the backend registry (raising
+        :class:`~repro.errors.ConfigurationError` for unknown names and
+        :class:`~repro.errors.BackendUnavailableError` when e.g. torch is
+        missing), then propagates it to every backend-aware node.  Node
+        state stays a plain string — instances resolve lazily per
+        process, so models remain picklable and fork-safe.  Returns
+        ``self`` for chaining.
+        """
+        from repro.backends import get_backend
+
+        get_backend(name)  # validate eagerly, before any worker forks
+        self.kernel_backend = name
+        for node in self.nodes:
+            if hasattr(node, "kernel_backend"):
+                node.kernel_backend = name
+        return self
 
     # --- structure queries -------------------------------------------------------
     def node(self, name: str) -> QNode:

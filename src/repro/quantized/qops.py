@@ -18,11 +18,14 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro.backends import format_bound, get_backend
+# Compatibility alias: the exact GEMM kernel now lives in the backend layer.
+from repro.backends.reference import exact_int_gemm as _exact_int_gemm  # noqa: F401
 from repro.errors import ShapeError
-from repro.fixedpoint import QFormat, requantize, rescale_round, saturate
+from repro.fixedpoint import QFormat, rescale_round, saturate
 from repro.quantized.interface import Injector
-from repro.utils.im2col import conv_output_size, im2col, pad_nchw
-from repro.winograd.conv2d import transform_filter_int, winograd_conv2d_int
+from repro.utils.im2col import conv_output_size, im2col, im2col_patches, pad_nchw
+from repro.winograd.conv2d import winograd_conv2d_int
 from repro.winograd.decompose import (
     SubConvSpec,
     decompose_conv,
@@ -83,21 +86,18 @@ class QInput(QNode):
         return quantize(xs[0], self.out_fmt)
 
 
-def _exact_int_gemm(weight: np.ndarray, cols: np.ndarray) -> np.ndarray:
-    """``acc[n, k, p] = sum_r weight[k, r] * cols[n, r, p]`` exactly.
+def _lazy_weight_bound(node) -> int:
+    """Cached actual magnitude bound of a node's integer weights.
 
-    Uses BLAS float64 when every partial sum provably fits the mantissa
-    (checked from actual magnitudes), int64 otherwise.
+    Weights are static after quantization, so the scan runs once per
+    layer per process and the exactness probes reuse the bound on every
+    forward (satisfying the no-per-call-scan contract of the backends).
     """
-    w_max = int(np.abs(weight).max(initial=0))
-    x_max = int(np.abs(cols).max(initial=0))
-    reduction = weight.shape[1]
-    if w_max * x_max * reduction < 2**52:
-        acc = np.matmul(
-            weight.astype(np.float64), cols.astype(np.float64)
-        )
-        return np.rint(acc).astype(np.int64)
-    return np.matmul(weight[None], cols)  # int64 matmul (exact, slower)
+    bound = getattr(node, "_weight_bound", None)
+    if bound is None:
+        bound = int(np.abs(node.weight_int).max(initial=0))
+        node._weight_bound = bound
+    return bound
 
 
 @dataclass
@@ -114,6 +114,9 @@ class QConvDirect(QNode):
     acc_width: int = 32
     in_shape: tuple = ()
     op_counts: OpCounts = field(default_factory=OpCounts)
+    #: Kernel backend name (resolved lazily per process; bit-identical
+    #: across backends, so never part of model fingerprints).
+    kernel_backend: str = "reference"
 
     @property
     def acc_frac(self) -> int:
@@ -127,13 +130,27 @@ class QConvDirect(QNode):
         p = conv_output_size(h, self.kernel, self.stride, self.padding)
         q = conv_output_size(w, self.kernel, self.stride, self.padding)
 
-        cols = im2col(x, (self.kernel, self.kernel), self.stride, self.padding)
-        acc = _exact_int_gemm(self.weight_int.reshape(k, -1), cols)
+        backend = get_backend(self.kernel_backend)
+        patches = im2col_patches(x, (self.kernel, self.kernel), self.stride, self.padding)
+        cols = None
+        gemm_cols = patches
+        if injector is not None:
+            # The injector reads individual column entries by fancy
+            # indexing, so it needs the materialized matrix; without an
+            # injector the backend may consume the strided view directly.
+            cols = np.ascontiguousarray(patches).reshape(n, c * self.kernel * self.kernel, p * q)
+            gemm_cols = cols
+        acc = backend.im2col_gemm(
+            self.weight_int.reshape(k, -1),
+            gemm_cols,
+            w_bound=_lazy_weight_bound(self),
+            x_bound=format_bound(self.in_fmt.width),
+        )
         acc = acc.reshape(n, k, p, q)
         acc += self.bias_acc.reshape(1, k, 1, 1)
         if injector is not None:
             injector.visit_direct(self, x, cols, acc)
-        y = requantize(acc, self.acc_frac, self.out_fmt)
+        y = backend.requantize(acc, self.acc_frac, self.out_fmt)
         if injector is not None:
             y = injector.visit_output(self, y)
         return y
@@ -157,6 +174,12 @@ class QConvWinograd(QNode):
     #: Filled by ``prepare()``: DWM pieces and their transformed filters.
     sub_specs: list[SubConvSpec] = field(default_factory=list)
     sub_filters: list[np.ndarray] = field(default_factory=list)
+    #: Per-sub-filter magnitude bounds, filled by ``prepare()``; lets the
+    #: backend exactness probes skip their per-call magnitude scans.
+    sub_filter_bounds: list[int] = field(default_factory=list)
+    #: Kernel backend name (resolved lazily per process; bit-identical
+    #: across backends, so never part of model fingerprints).
+    kernel_backend: str = "reference"
 
     @property
     def acc_frac(self) -> int:
@@ -170,12 +193,18 @@ class QConvWinograd(QNode):
     def prepare(self) -> None:
         """Decompose the kernel and pre-transform the integer filters."""
         tf = self.transform
+        backend = get_backend(self.kernel_backend)
         self.sub_specs = decompose_conv((self.kernel, self.kernel), self.stride)
         self.sub_filters = [
-            transform_filter_int(
-                extract_sub_kernel(self.weight_int, spec, self.stride), tf
+            backend.filter_transform(
+                tf, extract_sub_kernel(self.weight_int, spec, self.stride)
             )
             for spec in self.sub_specs
+        ]
+        # The transformed filters are static, so their magnitude bounds
+        # are computed once here and reused by every forward's probes.
+        self.sub_filter_bounds = [
+            int(np.abs(v).max(initial=0)) for v in self.sub_filters
         ]
 
     def forward(self, xs, injector=None):
@@ -187,16 +216,20 @@ class QConvWinograd(QNode):
         out_h = conv_output_size(h, self.kernel, self.stride, self.padding)
         out_w = conv_output_size(w, self.kernel, self.stride, self.padding)
 
+        backend = get_backend(self.kernel_backend)
+        x_bound = format_bound(self.in_fmt.width)
+        v_bounds = self.sub_filter_bounds or [None] * len(self.sub_specs)
         xp = pad_nchw(np.asarray(x, dtype=np.int64), self.padding)
         keep = injector is not None and injector.needs_intermediates
         scale = self.transform.output_scale_2d
 
         y_scaled = None
         sub_contexts = []
-        for spec, v_int in zip(self.sub_specs, self.sub_filters):
+        for spec, v_int, v_bound in zip(self.sub_specs, self.sub_filters, v_bounds):
             view = extract_sub_input(xp, spec, self.stride, out_h, out_w)
             ctx = winograd_conv2d_int(
-                view, v_int, padding=0, m=self.m, r=3, keep_intermediates=keep
+                view, v_int, padding=0, m=self.m, r=3, keep_intermediates=keep,
+                backend=backend, x_bound=x_bound, v_bound=v_bound,
             )
             sub_contexts.append((spec, ctx))
             y_scaled = ctx.y_int if y_scaled is None else y_scaled + ctx.y_int
@@ -207,7 +240,7 @@ class QConvWinograd(QNode):
         y_scaled += self.bias_acc.reshape(1, k, 1, 1) * scale
         if injector is not None:
             injector.visit_winograd(self, sub_contexts, y_scaled)
-        y = requantize(
+        y = backend.requantize(
             y_scaled, self.acc_frac, self.out_fmt, extra_ratio=Fraction(1, scale)
         )
         if injector is not None:
@@ -226,6 +259,9 @@ class QLinear(QNode):
     acc_width: int = 32
     in_shape: tuple = ()
     op_counts: OpCounts = field(default_factory=OpCounts)
+    #: Kernel backend name (resolved lazily per process; bit-identical
+    #: across backends, so never part of model fingerprints).
+    kernel_backend: str = "reference"
 
     @property
     def acc_frac(self) -> int:
@@ -233,18 +269,17 @@ class QLinear(QNode):
 
     def forward(self, xs, injector=None):
         (x,) = xs
-        w_max = int(np.abs(self.weight_int).max(initial=0))
-        x_max = int(np.abs(x).max(initial=0))
-        if w_max * x_max * self.weight_int.shape[1] < 2**52:
-            acc = np.rint(
-                x.astype(np.float64) @ self.weight_int.T.astype(np.float64)
-            ).astype(np.int64)
-        else:
-            acc = x @ self.weight_int.T
+        backend = get_backend(self.kernel_backend)
+        acc = backend.linear_gemm(
+            x,
+            self.weight_int,
+            w_bound=_lazy_weight_bound(self),
+            x_bound=format_bound(self.in_fmt.width),
+        )
         acc += self.bias_acc
         if injector is not None:
             injector.visit_linear(self, x, acc)
-        y = requantize(acc, self.acc_frac, self.out_fmt)
+        y = backend.requantize(acc, self.acc_frac, self.out_fmt)
         if injector is not None:
             y = injector.visit_output(self, y)
         return y

@@ -115,6 +115,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backends import get_backend as get_kernel_backend
 from repro.errors import ConfigurationError, TaskExecutionError
 from repro.faultsim.campaign import (
     CampaignConfig,
@@ -344,6 +345,15 @@ class CampaignEngine:
         Distributed only: claim attempts per task before it is
         quarantined as poison and the batch fails with
         :class:`~repro.errors.TaskExecutionError`.
+    kernel_backend:
+        Optional kernel backend name (``"reference"``, ``"optimized"``
+        or ``"torch"``; see :mod:`repro.backends`) applied to every
+        model evaluated through this engine.  Kernel backends are
+        bit-identical by contract, so results, event counts and
+        checkpoint keys are unchanged — the selection never enters task
+        keys or ``campaign_fingerprint``, keeping checkpoints shareable
+        across backends.  ``None`` (default) leaves each model's own
+        setting untouched.
     """
 
     def __init__(
@@ -359,8 +369,14 @@ class CampaignEngine:
         queue_dir: str | Path | None = None,
         lease_timeout: float = 30.0,
         max_attempts: int = 3,
+        kernel_backend: str | None = None,
     ):
         self.workers = resolve_workers(workers)
+        if kernel_backend is not None:
+            # Validate eagerly (unknown name / missing torch) so a bad
+            # selection fails at construction, not mid-campaign.
+            get_kernel_backend(kernel_backend)
+        self.kernel_backend = kernel_backend
         if backend not in (BACKEND_POOL, BACKEND_DISTRIBUTED):
             raise ConfigurationError(
                 f"backend must be '{BACKEND_POOL}' or '{BACKEND_DISTRIBUTED}', "
@@ -455,6 +471,14 @@ class CampaignEngine:
         results.
         """
         config = config or CampaignConfig()
+        if (
+            self.kernel_backend is not None
+            and qmodel.kernel_backend != self.kernel_backend
+        ):
+            # Execution strategy only: bit-identical results and
+            # unchanged fingerprints, so this never invalidates the
+            # engine's memoized hashes or existing checkpoint rows.
+            qmodel.set_kernel_backend(self.kernel_backend)
         meter = ThroughputMeter()
 
         # Expand to subtask granularity.  Two levels: tasks fan out into

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["conv_output_size", "pad_nchw", "im2col", "col2im"]
+__all__ = ["conv_output_size", "pad_nchw", "im2col", "im2col_patches", "col2im"]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -40,6 +40,42 @@ def pad_nchw(x: np.ndarray, padding: int | tuple[int, int]) -> np.ndarray:
     return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
 
 
+def im2col_patches(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Zero-copy strided patches view behind :func:`im2col`.
+
+    Returns a read-only-by-convention ``(N, C, R, S, P, Q)`` view whose
+    C-order flattening of the middle/trailing axes is exactly the
+    materialized im2col matrix.  The optimized kernel backend consumes
+    this view directly (fused gather + cast), skipping the intermediate
+    int64 materialization; callers that need the ``(N, C*R*S, P*Q)``
+    matrix use :func:`im2col`.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW array, got ndim={x.ndim}")
+    n, c, h, w = x.shape
+    r, s = kernel
+    p = conv_output_size(h, r, stride, padding)
+    q = conv_output_size(w, s, stride, padding)
+    xp = pad_nchw(x, padding)
+
+    # Gather all (r, s) shifted views with stride tricks, then reorder.
+    shape = (n, c, r, s, p, q)
+    strides = (
+        xp.strides[0],
+        xp.strides[1],
+        xp.strides[2],
+        xp.strides[3],
+        xp.strides[2] * stride,
+        xp.strides[3] * stride,
+    )
+    return np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+
+
 def im2col(
     x: np.ndarray,
     kernel: tuple[int, int],
@@ -63,25 +99,8 @@ def im2col(
     spatial size.  The reduction axis is ordered ``c`` major, then ``r``,
     then ``s`` — the canonical accumulation order for fault injection.
     """
-    if x.ndim != 4:
-        raise ShapeError(f"expected NCHW array, got ndim={x.ndim}")
-    n, c, h, w = x.shape
-    r, s = kernel
-    p = conv_output_size(h, r, stride, padding)
-    q = conv_output_size(w, s, stride, padding)
-    xp = pad_nchw(x, padding)
-
-    # Gather all (r, s) shifted views with stride tricks, then reorder.
-    shape = (n, c, r, s, p, q)
-    strides = (
-        xp.strides[0],
-        xp.strides[1],
-        xp.strides[2],
-        xp.strides[3],
-        xp.strides[2] * stride,
-        xp.strides[3] * stride,
-    )
-    patches = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+    patches = im2col_patches(x, kernel, stride, padding)
+    n, c, r, s, p, q = patches.shape
     return np.ascontiguousarray(patches).reshape(n, c * r * s, p * q)
 
 

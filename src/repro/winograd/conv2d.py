@@ -13,6 +13,13 @@ Two entry points:
 Both support unit stride with ``r x r`` kernels for any supported tile size;
 larger kernels and strides are handled one level up by the DWM decomposition
 (:mod:`repro.winograd.decompose`).
+
+The integer pipeline's per-stage kernels (tile transforms and the channel
+reduction) execute through a pluggable :mod:`repro.backends` backend —
+bit-identical across backends by contract, so the choice affects
+wall-clock only.  ``_channel_reduce``, ``_cached_einsum`` and the bounded
+``_EINSUM_PATHS`` path cache remain importable here for compatibility
+(they now live in the backend layer).
 """
 
 from __future__ import annotations
@@ -21,6 +28,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import get_backend, kron_row_bound
+# Legacy aliases: the bounded einsum-path cache and the reference
+# kernels now live in the backend layer, but tests and the ABFT checker
+# import them from here.
+from repro.backends.base import EINSUM_PATHS as _EINSUM_PATHS  # noqa: F401
+from repro.backends.base import cached_einsum as _cached_einsum  # noqa: F401
+from repro.backends.reference import channel_reduce as _channel_reduce  # noqa: F401
+from repro.backends.reference import filter_transform_int as _filter_transform_int
 from repro.errors import ShapeError
 from repro.utils.im2col import conv_output_size, pad_nchw
 from repro.winograd.tiling import TileGrid, assemble_tiles, extract_tiles
@@ -34,36 +49,6 @@ __all__ = [
     "winograd_conv2d_int",
 ]
 
-#: (subscripts, structural key) -> precomputed np.einsum contraction path.
-#: The integer pipeline evaluates the same handful of contraction shapes
-#: for every batch of every layer of every campaign unit; recomputing the
-#: optimal path each call costs more than some of the small contractions
-#: themselves.  Exactness is unaffected: optimized paths only reassociate
-#: integer sums/products, and int64 tensordot stays int64.
-_EINSUM_PATHS: dict[tuple, list] = {}
-
-
-def _cached_einsum(
-    subscripts: str, *operands: np.ndarray, key: tuple | None = None
-) -> np.ndarray:
-    """``np.einsum`` with a memoized contraction path.
-
-    ``key`` names the contraction's *structure*; callers whose operands
-    carry a batch axis pass shapes with that axis dropped, so the replay
-    executor's variable dirty-subset sizes share one cache entry per
-    layer geometry instead of growing the cache per batch size (a path
-    is a contraction order — valid for any batch extent).  ``None``
-    falls back to the full operand shapes.
-    """
-    if key is None:
-        key = tuple(op.shape for op in operands)
-    cache_key = (subscripts,) + tuple(key)
-    path = _EINSUM_PATHS.get(cache_key)
-    if path is None:
-        path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
-        _EINSUM_PATHS[cache_key] = path
-    return np.einsum(subscripts, *operands, optimize=path)
-
 
 def transform_filter_float(weight: np.ndarray, tf: WinogradTransform) -> np.ndarray:
     """Compute ``G g G^T`` for every filter: (K, C, r, r) -> (K, C, t, t)."""
@@ -73,9 +58,7 @@ def transform_filter_float(weight: np.ndarray, tf: WinogradTransform) -> np.ndar
 
 def transform_filter_int(weight_int: np.ndarray, tf: WinogradTransform) -> np.ndarray:
     """Integer filter transform ``G_int g G_int^T``; scale is ``g_scale**2``."""
-    g = tf.g_int
-    out = _cached_einsum("ij,kcjl,ml->kcim", g, weight_int.astype(np.int64), g)
-    return out.astype(np.int64)
+    return _filter_transform_int(weight_int, tf)
 
 
 def _check_conv_args(x: np.ndarray, weight: np.ndarray) -> tuple[int, int]:
@@ -137,36 +120,6 @@ def winograd_conv2d_float(
     return y
 
 
-def _channel_reduce(u: np.ndarray, v: np.ndarray) -> np.ndarray:
-    """Compute ``M[n,k,T,i,j] = sum_c U[n,c,T,i,j] * V[k,c,i,j]`` exactly.
-
-    This is the arithmetic bottleneck of the integer path.  When every
-    partial sum provably fits a float64 mantissa (checked from the *actual*
-    magnitudes, not worst-case bounds), the reduction runs as a batched BLAS
-    matmul in float64 — exact and an order of magnitude faster than the
-    int64 einsum fallback.
-    """
-    n, c, t_count, th, tw = u.shape
-    k = v.shape[0]
-    u_max = int(np.abs(u).max(initial=0))
-    v_max = int(np.abs(v).max(initial=0))
-    exact_in_f64 = u_max * v_max * c < 2**52
-
-    # Layout: (t*t, C, N*T) and (t*t, K, C) -> (t*t, K, N*T)
-    u_r = u.transpose(3, 4, 1, 0, 2).reshape(th * tw, c, n * t_count)
-    v_r = v.transpose(2, 3, 0, 1).reshape(th * tw, k, c)
-    if exact_in_f64:
-        m_r = np.matmul(v_r.astype(np.float64), u_r.astype(np.float64))
-        m_r = np.rint(m_r).astype(np.int64)
-    else:
-        m_r = np.matmul(v_r, u_r)  # int64 matmul: exact, slower
-    return (
-        m_r.reshape(th, tw, k, n, t_count)
-        .transpose(3, 2, 4, 0, 1)
-        .copy()
-    )
-
-
 @dataclass
 class WinogradConvContext:
     """Every intermediate of one integer Winograd convolution.
@@ -217,6 +170,9 @@ def winograd_conv2d_int(
     m: int = 2,
     r: int = 3,
     keep_intermediates: bool = True,
+    backend=None,
+    x_bound: int | None = None,
+    v_bound: int | None = None,
 ) -> WinogradConvContext:
     """Integer-exact Winograd convolution on quantized values.
 
@@ -234,12 +190,24 @@ def winograd_conv2d_int(
     keep_intermediates:
         When False, ``u_int``/``m_int`` are not retained (saves memory when
         no fault injection is requested).
+    backend:
+        :class:`~repro.backends.base.KernelBackend` serving the transform
+        and channel-reduction stages (default: the ``reference`` backend).
+        Every backend is bit-identical, so this changes wall-clock only.
+    x_bound, v_bound:
+        Optional conservative magnitude bounds on ``x_int``/``v_int``
+        (e.g. from the quantization format).  When given, the stage
+        bounds are derived from them — input ``x_bound * kron(B^T)`` row
+        sums, channel product ``u_bound * v_bound * C``, and so on — and
+        the backends skip their per-call magnitude scans.
 
     Returns
     -------
     A :class:`WinogradConvContext`; ``ctx.y_int`` is exactly
     ``output_scale_2d`` times the direct-convolution integer accumulator.
     """
+    if backend is None:
+        backend = get_backend()
     tf = get_transform(m, r)
     n, c, h, w = x_int.shape
     k = v_int.shape[0]
@@ -254,17 +222,17 @@ def winograd_conv2d_int(
     xp = pad_nchw(np.asarray(x_int, dtype=np.int64), padding)
     tiles = extract_tiles(xp, grid)
 
-    bt = tf.bt_int
-    u = _cached_einsum(
-        "ij,nctjl,ml->nctim", bt, tiles, bt,
-        key=(bt.shape, tiles.shape[1:], bt.shape),
+    u = backend.input_transform(tf, tiles, x_bound=x_bound)
+    u_bound = None if x_bound is None else int(x_bound) * kron_row_bound(tf.bt_int)
+    m_arr = backend.channel_reduce(
+        u, np.asarray(v_int, dtype=np.int64), u_bound=u_bound, v_bound=v_bound
     )
-    m_arr = _channel_reduce(u, np.asarray(v_int, dtype=np.int64))
-    at = tf.at_int
-    y_tiles = _cached_einsum(
-        "ui,nktij,vj->nktuv", at, m_arr, at,
-        key=(at.shape, m_arr.shape[1:], at.shape),
+    m_bound = (
+        None
+        if u_bound is None or v_bound is None
+        else u_bound * int(v_bound) * c
     )
+    y_tiles = backend.output_transform(tf, m_arr, m_bound=m_bound)
     y = assemble_tiles(y_tiles, grid)
 
     return WinogradConvContext(

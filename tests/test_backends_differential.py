@@ -1,0 +1,482 @@
+"""Cross-backend differential suite: the bit-identity contract.
+
+Every kernel backend must return exactly the int64 values the
+``reference`` backend produces — stage by stage (each protocol method,
+fast paths and int64 fallbacks, bound-fed and bound-free probes) and end
+to end (model forward, campaign evaluation under both conv modes, both
+injectors and BERs from zero through the accuracy knee).  Because the
+contract holds, the backend choice never enters model fingerprints or
+checkpoint keys, and a checkpoint written under one backend is
+byte-identical to one written under another (at ``workers=1``, where
+completion order is deterministic).
+
+``REPRO_PARITY_WORKERS`` scales the engine-based parity tests' worker
+count (CI runs them at 2); the byte-identity test always pins
+``workers=1`` since multi-worker completion order may legally reorder
+checkpoint rows.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    BoundedCache,
+    EINSUM_PATHS,
+    available_backends,
+    format_bound,
+    get_backend,
+    kron_row_bound,
+    row_bound,
+)
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.faultsim import (
+    CampaignConfig,
+    INJECTOR_NEURON,
+    INJECTOR_OPERATION,
+    evaluate_seed_point,
+    run_sweep,
+)
+from repro.fixedpoint import QFormat, requantize
+from repro.runtime import CampaignEngine, model_fingerprint
+from repro.winograd import get_transform
+
+#: Worker count for the engine-based parity tests (CI sets 2).
+PARITY_WORKERS = int(os.environ.get("REPRO_PARITY_WORKERS", "1"))
+
+#: Every non-reference backend that can be instantiated here.
+ALT_BACKENDS = [n for n in available_backends() if n != "reference"]
+
+REFERENCE = get_backend("reference")
+
+
+@pytest.fixture(params=ALT_BACKENDS)
+def alt(request):
+    """Each available non-reference backend instance."""
+    return get_backend(request.param)
+
+
+def restore_backend(qmodel):
+    """Reset a (session-scoped, shared) model to the reference backend."""
+    qmodel.set_kernel_backend("reference")
+
+
+# --- stage-level differential tests ------------------------------------------
+class TestStageParity:
+    """Each protocol method, reference vs every other backend."""
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_filter_transform(self, alt, rng, m):
+        tf = get_transform(m, 3)
+        w = rng.integers(-(1 << 7), 1 << 7, size=(5, 3, 3, 3)).astype(np.int64)
+        ref = REFERENCE.filter_transform(tf, w)
+        out = alt.filter_transform(tf, w)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    @pytest.mark.parametrize("magnitude", [1 << 12, 1 << 50], ids=["f64", "int64"])
+    def test_input_transform(self, alt, rng, m, magnitude):
+        """Fast fused-GEMM path and the beyond-f64-window fallback."""
+        tf = get_transform(m, 3)
+        t = tf.m + tf.r - 1
+        tiles = rng.integers(-magnitude, magnitude, size=(2, 3, 5, t, t)).astype(
+            np.int64
+        )
+        ref = REFERENCE.input_transform(tf, tiles)
+        for x_bound in (None, magnitude):
+            out = alt.input_transform(tf, tiles, x_bound=x_bound)
+            assert out.dtype == np.int64
+            np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    @pytest.mark.parametrize("magnitude", [1 << 16, 1 << 50], ids=["f64", "int64"])
+    def test_output_transform(self, alt, rng, m, magnitude):
+        tf = get_transform(m, 3)
+        t = tf.m + tf.r - 1
+        m_arr = rng.integers(-magnitude, magnitude, size=(2, 4, 5, t, t)).astype(
+            np.int64
+        )
+        ref = REFERENCE.output_transform(tf, m_arr)
+        for m_bound in (None, magnitude):
+            out = alt.output_transform(tf, m_arr, m_bound=m_bound)
+            assert out.dtype == np.int64
+            np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize(
+        "magnitude", [1 << 15, 1 << 25], ids=["f64", "int64-blocked"]
+    )
+    def test_channel_reduce(self, alt, rng, magnitude):
+        """f64 BLAS path and the blocked int64 fallback (2^25·2^25·64 > 2^52)."""
+        n, c, k, t_count, t = 2, 64, 5, 7, 4
+        u = rng.integers(-magnitude, magnitude, size=(n, c, t_count, t, t)).astype(
+            np.int64
+        )
+        v = rng.integers(-magnitude, magnitude, size=(k, c, t, t)).astype(np.int64)
+        ref = REFERENCE.channel_reduce(u, v)
+        for bounds in ({}, {"u_bound": magnitude, "v_bound": magnitude}):
+            out = alt.channel_reduce(u, v, **bounds)
+            assert out.dtype == np.int64
+            np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("magnitude", [1 << 12, 1 << 24], ids=["f64", "int64"])
+    def test_im2col_gemm_matrix_and_view(self, alt, rng, magnitude):
+        """Materialized (N,C*R*S,P*Q) matrix and strided 6-D view agree."""
+        from repro.utils.im2col import im2col, im2col_patches
+
+        x = rng.integers(-magnitude, magnitude, size=(2, 8, 9, 9)).astype(np.int64)
+        w = rng.integers(-magnitude, magnitude, size=(4, 8 * 3 * 3)).astype(np.int64)
+        matrix = im2col(x, (3, 3), 1, 1)
+        view = im2col_patches(x, (3, 3), 1, 1)
+        ref = REFERENCE.im2col_gemm(w, matrix)
+        for cols in (matrix, view):
+            for bounds in ({}, {"w_bound": magnitude, "x_bound": magnitude}):
+                out = alt.im2col_gemm(w, cols, **bounds)
+                assert out.dtype == np.int64
+                np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("magnitude", [1 << 12, 1 << 24], ids=["f64", "int64"])
+    def test_linear_gemm(self, alt, rng, magnitude):
+        x = rng.integers(-magnitude, magnitude, size=(6, 40)).astype(np.int64)
+        w = rng.integers(-magnitude, magnitude, size=(4, 40)).astype(np.int64)
+        ref = REFERENCE.linear_gemm(x, w)
+        for bounds in ({}, {"w_bound": magnitude, "x_bound": magnitude}):
+            out = alt.linear_gemm(x, w, **bounds)
+            assert out.dtype == np.int64
+            np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize(
+        "acc_frac,out_fmt,extra",
+        [
+            (20, QFormat(16, 12), Fraction(1)),  # downshift (den > 1)
+            (10, QFormat(16, 14), Fraction(1)),  # upshift (num > 1)
+            (18, QFormat(16, 11), Fraction(1, 9)),  # Winograd scale ratio
+        ],
+    )
+    def test_requantize(self, alt, rng, acc_frac, out_fmt, extra):
+        """Rational rescale + half-away-from-zero round + saturate."""
+        acc = rng.integers(-(1 << 40), 1 << 40, size=(3, 7, 11))
+        # Include exact .5 ties of both signs and the format edges.
+        acc.flat[:6] = [5 << 7, -(5 << 7), 1, -1, 0, 1 << 40]
+        ref = requantize(acc, acc_frac, out_fmt, extra_ratio=extra)
+        out = alt.requantize(acc, acc_frac, out_fmt, extra_ratio=extra)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_requantize_extreme_magnitude_delegates_exactly(self, alt):
+        """Accumulators at 2^52 with a 2^10 numerator exceed the int64
+        fast-path window; the object-dtype fallback must still match."""
+        acc = np.array([1 << 52, -(1 << 52), 12345], dtype=np.int64)
+        out_fmt = QFormat(16, 14)
+        ref = requantize(acc, 4, out_fmt)  # ratio = 2**10
+        out = alt.requantize(acc, 4, out_fmt)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_requantize_empty(self, alt):
+        out = alt.requantize(np.empty((0, 3), dtype=np.int64), 12, QFormat(16, 10))
+        assert out.shape == (0, 3)
+
+    def test_returns_fresh_arrays(self, alt, rng):
+        """Two successive calls must not alias each other's output."""
+        tf = get_transform(2, 3)
+        tiles = rng.integers(-(1 << 10), 1 << 10, size=(1, 2, 3, 4, 4)).astype(
+            np.int64
+        )
+        a = alt.input_transform(tf, tiles)
+        snapshot = a.copy()
+        alt.input_transform(tf, tiles + 1)
+        np.testing.assert_array_equal(a, snapshot)
+
+
+class TestWholeConvParity:
+    """Full integer Winograd conv: y/u/m intermediates bit-identical."""
+
+    @pytest.mark.parametrize("m", [2, 4])
+    @pytest.mark.parametrize("keep", [False, True])
+    def test_conv_and_intermediates(self, alt, rng, m, keep):
+        from repro.winograd import transform_filter_int, winograd_conv2d_int
+
+        tf = get_transform(m, 3)
+        x = rng.integers(-(1 << 12), 1 << 12, size=(2, 8, 12, 12)).astype(np.int64)
+        w = rng.integers(-(1 << 7), 1 << 7, size=(4, 8, 3, 3)).astype(np.int64)
+        v = transform_filter_int(w, tf)
+        ref = winograd_conv2d_int(x, v, padding=1, m=m, keep_intermediates=keep)
+        out = winograd_conv2d_int(
+            x,
+            v,
+            padding=1,
+            m=m,
+            keep_intermediates=keep,
+            backend=alt,
+            x_bound=1 << 12,
+            v_bound=int(np.abs(v).max()),
+        )
+        np.testing.assert_array_equal(out.y_int, ref.y_int)
+        if keep:
+            np.testing.assert_array_equal(out.u_int, ref.u_int)
+            np.testing.assert_array_equal(out.m_int, ref.m_int)
+
+
+# --- model-level differential tests ------------------------------------------
+class TestModelParity:
+    """Forward passes and campaign units across backends, modes, injectors."""
+
+    @pytest.mark.parametrize("model_idx", [0, 1], ids=["standard", "winograd"])
+    def test_forward_trace_bit_identical(self, alt, tiny_quantized, tiny_eval, model_idx):
+        """Every node output of a fault-free forward pass is identical."""
+        qm = tiny_quantized[model_idx]
+        x, _ = tiny_eval
+        try:
+            restore_backend(qm)
+            ref = qm.forward_trace(x[:8])
+            qm.set_kernel_backend(alt.name)
+            out = qm.forward_trace(x[:8])
+        finally:
+            restore_backend(qm)
+        assert ref.keys() == out.keys()
+        for name in ref:
+            np.testing.assert_array_equal(out[name], ref[name], err_msg=name)
+
+    @pytest.mark.parametrize("model_idx", [0, 1], ids=["standard", "winograd"])
+    @pytest.mark.parametrize("injector", [INJECTOR_OPERATION, INJECTOR_NEURON])
+    @pytest.mark.parametrize("ber", [0.0, 1e-7, 1e-5], ids=["zero", "low", "knee"])
+    def test_seed_point_parity(
+        self, alt, tiny_quantized, tiny_eval, model_idx, injector, ber
+    ):
+        """accuracy AND event counts identical for each (BER, seed) unit."""
+        qm = tiny_quantized[model_idx]
+        x, y = tiny_eval
+        config = CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24,
+                                injector=injector)
+        try:
+            restore_backend(qm)
+            ref = [evaluate_seed_point(qm, x, y, ber, s, config) for s in config.seeds]
+            qm.set_kernel_backend(alt.name)
+            out = [evaluate_seed_point(qm, x, y, ber, s, config) for s in config.seeds]
+        finally:
+            restore_backend(qm)
+        assert out == ref
+
+    def test_engine_sweep_parity(self, alt, tiny_quantized, tiny_eval):
+        """Full engine sweeps (REPRO_PARITY_WORKERS workers) agree with the
+        serial reference sweep under the alternative backend."""
+        qm = tiny_quantized[1]
+        x, y = tiny_eval
+        bers = [1e-5, 3e-5]
+        config = CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24)
+        try:
+            restore_backend(qm)
+            serial = [r.to_dict() for r in run_sweep(qm, x, y, bers, config=config)]
+            engine = CampaignEngine(workers=PARITY_WORKERS, kernel_backend=alt.name)
+            swept = [
+                r.to_dict() for r in engine.run_sweep(qm, x, y, bers, config=config)
+            ]
+        finally:
+            restore_backend(qm)
+        assert swept == serial
+
+
+class TestCheckpointByteIdentity:
+    """A fig-3 style engine run writes byte-identical checkpoint files
+    under every backend (workers=1: deterministic completion order)."""
+
+    def test_checkpoint_files_byte_identical(
+        self, alt, tiny_quantized, tiny_eval, tmp_path
+    ):
+        qm = tiny_quantized[1]
+        x, y = tiny_eval
+        bers = [0.0, 1e-5, 3e-5]
+        config = CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24)
+        ref_ckpt = tmp_path / "reference.json"
+        alt_ckpt = tmp_path / "alt.json"
+        try:
+            restore_backend(qm)
+            CampaignEngine(
+                workers=1, checkpoint_path=ref_ckpt, kernel_backend="reference"
+            ).run_sweep(qm, x, y, bers, config=config)
+            CampaignEngine(
+                workers=1, checkpoint_path=alt_ckpt, kernel_backend=alt.name
+            ).run_sweep(qm, x, y, bers, config=config)
+        finally:
+            restore_backend(qm)
+        ref_bytes = ref_ckpt.read_bytes()
+        assert len(ref_bytes) > 0
+        assert alt_ckpt.read_bytes() == ref_bytes
+
+    def test_checkpoint_shared_across_backends(
+        self, alt, tiny_quantized, tiny_eval, tmp_path
+    ):
+        """A checkpoint written under one backend is fully served from
+        cache when resumed under another (keys exclude the backend)."""
+        qm = tiny_quantized[0]
+        x, y = tiny_eval
+        bers = [1e-5]
+        config = CampaignConfig(seeds=(0, 1), batch_size=12, max_samples=24)
+        ckpt = tmp_path / "shared.json"
+        try:
+            restore_backend(qm)
+            CampaignEngine(
+                workers=1, checkpoint_path=ckpt, kernel_backend="reference"
+            ).run_sweep(qm, x, y, bers, config=config)
+            engine = CampaignEngine(
+                workers=1, checkpoint_path=ckpt, resume=True, kernel_backend=alt.name
+            )
+            engine.run_sweep(qm, x, y, bers, config=config)
+        finally:
+            restore_backend(qm)
+        assert engine.last_stats.cached_units == len(config.seeds)
+        assert engine.last_stats.computed_units == 0
+
+
+class TestFingerprintStability:
+    """The backend is execution strategy: identity hashes must not move."""
+
+    def test_model_fingerprint_ignores_backend(self, alt, tiny_quantized):
+        for qm in tiny_quantized:
+            try:
+                restore_backend(qm)
+                before = model_fingerprint(qm)
+                qm.set_kernel_backend(alt.name)
+                assert model_fingerprint(qm) == before
+            finally:
+                restore_backend(qm)
+
+    def test_set_kernel_backend_propagates_to_nodes(self, tiny_quantized):
+        qm = tiny_quantized[1]
+        try:
+            qm.set_kernel_backend("optimized")
+            for node in qm.injectable_layers():
+                assert node.kernel_backend == "optimized"
+        finally:
+            restore_backend(qm)
+        for node in qm.injectable_layers():
+            assert node.kernel_backend == "reference"
+
+
+# --- registry, errors, caches ------------------------------------------------
+class TestRegistry:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("numba")
+
+    def test_model_validates_backend_eagerly(self, tiny_quantized):
+        with pytest.raises(ConfigurationError):
+            tiny_quantized[0].set_kernel_backend("numba")
+
+    def test_engine_validates_backend_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            CampaignEngine(workers=1, kernel_backend="numba")
+
+    def test_singletons(self):
+        assert get_backend("reference") is get_backend("reference")
+        assert get_backend("optimized") is get_backend("optimized")
+
+    def test_names_and_availability(self):
+        assert BACKEND_NAMES == ("reference", "optimized", "torch")
+        avail = available_backends()
+        assert avail[:2] == ("reference", "optimized")
+
+    @pytest.mark.skipif(
+        "torch" in ALT_BACKENDS, reason="torch is installed here"
+    )
+    def test_torch_missing_raises_backend_unavailable(self):
+        with pytest.raises(BackendUnavailableError, match="torch"):
+            get_backend("torch")
+        assert "torch" not in available_backends()
+        assert issubclass(BackendUnavailableError, ConfigurationError)
+
+
+class TestBoundedCache:
+    def test_fifo_eviction_at_capacity(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_reput_existing_key_does_not_evict(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2 and cache.get("a") == 10
+        assert cache.stats()["evictions"] == 0
+
+    def test_hit_miss_counters(self):
+        cache = BoundedCache(capacity=4)
+        assert cache.get("x") is None
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_clear_preserves_counters(self):
+        cache = BoundedCache(capacity=4)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats()["hits"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedCache(capacity=0)
+
+    def test_einsum_path_cache_is_bounded_and_shared(self):
+        """conv2d's legacy alias and the backend layer share one capped
+        cache (the previously unbounded module global)."""
+        from repro.winograd import conv2d
+
+        assert conv2d._EINSUM_PATHS is EINSUM_PATHS
+        assert isinstance(EINSUM_PATHS, BoundedCache)
+        assert EINSUM_PATHS.capacity == 256
+
+    def test_cache_stats_hook(self, alt):
+        stats = alt.cache_stats()
+        assert "einsum_paths" in stats
+        for counters in stats.values():
+            assert set(counters) == {
+                "size", "capacity", "hits", "misses", "evictions",
+            }
+
+
+class TestBoundHelpers:
+    def test_format_bound(self):
+        assert format_bound(16) == 1 << 15
+        assert format_bound(8) == 1 << 7
+
+    def test_row_and_kron_bounds(self):
+        mat = np.array([[1, -2], [3, 4]])
+        assert row_bound(mat) == 7
+        assert kron_row_bound(mat) == 49
+        kron = np.kron(mat, mat)
+        assert int(np.abs(kron).sum(axis=1).max()) == 49
+
+    def test_bounds_are_conservative_for_tiny_model(self, tiny_quantized):
+        """The format-derived activation bound dominates every actual
+        layer-input magnitude (the invariant the probes rely on)."""
+        qm = tiny_quantized[0]
+        for node in qm.injectable_layers():
+            assert format_bound(node.in_fmt.width) >= node.in_fmt.qmax
+
+
+class TestTorchBackend:
+    """Torch-only checks (the generic parametrization covers parity)."""
+
+    @pytest.fixture(autouse=True)
+    def _requires_torch(self):
+        pytest.importorskip("torch")
+
+    def test_registered_and_available(self):
+        assert "torch" in available_backends()
+        assert get_backend("torch").name == "torch"
+
+    def test_cache_stats_hook(self):
+        stats = get_backend("torch").cache_stats()
+        assert "einsum_paths" in stats

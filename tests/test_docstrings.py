@@ -2,8 +2,8 @@
 
 ``docs/RUNTIME.md`` documents the execution runtime; this gate keeps the
 in-code reference complete: every public module, class, function and
-method in :mod:`repro.runtime`, :mod:`repro.tmr`, :mod:`repro.faultsim` and
-:mod:`repro.stats` must carry a docstring.  The check is AST-based
+method in :mod:`repro.runtime`, :mod:`repro.tmr`, :mod:`repro.faultsim`,
+:mod:`repro.stats` and :mod:`repro.backends` must carry a docstring.  The check is AST-based
 (the same contract an ``interrogate`` run with ``--ignore-private``
 enforces) so it needs no third-party dependency and runs in tier-1 CI on
 every push.
@@ -30,13 +30,20 @@ from pathlib import Path
 
 import pytest
 
+import repro.backends
 import repro.faultsim
 import repro.runtime
 import repro.stats
 import repro.tmr
 
 #: Packages whose public APIs docs/RUNTIME.md promises are documented.
-GATED_PACKAGES = (repro.runtime, repro.tmr, repro.faultsim, repro.stats)
+GATED_PACKAGES = (
+    repro.runtime,
+    repro.tmr,
+    repro.faultsim,
+    repro.stats,
+    repro.backends,
+)
 
 
 
@@ -95,6 +102,7 @@ def test_gate_actually_covers_both_packages():
     tmr = [p for name, p in modules if name == "repro.tmr"]
     faultsim = [p for name, p in modules if name == "repro.faultsim"]
     stats = [p for name, p in modules if name == "repro.stats"]
+    backends = [p for name, p in modules if name == "repro.backends"]
     assert {p.name for p in runtime} == {
         "__init__.py", "checkpoint.py", "distributed.py", "engine.py",
         "hashing.py", "progress.py", "queue.py", "tasks.py",
@@ -109,4 +117,8 @@ def test_gate_actually_covers_both_packages():
     }
     assert {p.name for p in stats} == {
         "__init__.py", "adaptive.py", "intervals.py", "sequential.py",
+    }
+    assert {p.name for p in backends} == {
+        "__init__.py", "base.py", "optimized.py", "reference.py",
+        "torch_backend.py",
     }
