@@ -12,6 +12,59 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class TransientError(ReproError):
+    """A failure expected to clear on retry (infrastructure, not logic).
+
+    The unified :class:`repro.runtime.RetryPolicy` classifies exceptions
+    into *transient* (worth retrying with backoff: lock contention, chaos
+    injections, lost workers) and *permanent* (retrying re-raises the
+    same error: bad configuration, shape mismatches).  Library code
+    raises a :class:`TransientError` subclass whenever the failure is an
+    infrastructure condition rather than a property of the task itself.
+    """
+
+
+class ChaosError(TransientError):
+    """A deterministic chaos-framework injection fired (test harness).
+
+    Raised by :class:`repro.runtime.ChaosSpec` hooks — a unit exception
+    or a simulated worker crash — so resilience tests can tell injected
+    faults from organic ones.  Classified transient: the injection
+    decision is a pure function of (chaos seed, task key, attempt), so
+    the retried attempt draws fresh and usually succeeds.
+    """
+
+
+class WorkerCrashError(ChaosError):
+    """Chaos injection: the executing worker was declared dead mid-unit.
+
+    The distributed backend realizes this as a real ``os._exit`` (the
+    lease protocol recovers); the pool backend — whose queue dies with
+    its process — raises this in-band instead, and the engine's retry
+    path re-runs the unit exactly as a lease reclaim would.
+    """
+
+
+class UnitDeadlineError(TransientError):
+    """A unit exceeded its per-unit deadline and was aborted.
+
+    Raised by the :func:`repro.runtime.unit_deadline` watchdog inside
+    the worker executing the unit.  Transient by classification: a stall
+    is usually environmental (a stolen core, a chaos slow-unit
+    injection), so the retry policy re-runs the unit before giving up.
+    """
+
+
+class QueueContentionError(TransientError):
+    """SQLite work-queue lock contention outlasted the retry budget.
+
+    Every :class:`repro.runtime.WorkQueue` operation retries
+    ``database is locked`` errors with backoff on top of SQLite's own
+    ``busy_timeout``; when the budget is spent the operation surfaces
+    this typed error instead of a raw ``sqlite3.OperationalError``.
+    """
+
+
 class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
@@ -23,6 +76,18 @@ class CheckpointError(ConfigurationError):
     checkpoint loading keep working; raised instead of a raw
     ``json.JSONDecodeError`` so corruption is always reported with the
     file path and the salvage options.
+    """
+
+
+class CheckpointWriteError(CheckpointError, TransientError):
+    """A checkpoint flush could not persist its pending records.
+
+    Raised by :class:`repro.runtime.CampaignCheckpoint` when an append
+    is torn (short write) or the disk is full (``ENOSPC``).  The store
+    rolls the file back to its pre-write state and *retains every
+    pending record in memory*, so the flush can be retried with backoff
+    — and the engine degrades to checkpoint-less completion (with a loud
+    warning) rather than crashing mid-campaign when retries exhaust.
     """
 
 
@@ -43,6 +108,30 @@ class TaskExecutionError(ReproError):
         self.task_key = task_key
         #: The failing task's human-readable tag ("" if untagged).
         self.tag = tag
+
+
+class TaskQuarantinedError(TaskExecutionError):
+    """One or more tasks exhausted their retry budget and were quarantined.
+
+    Both backends raise this same subclass — the pool after the unified
+    :class:`repro.runtime.RetryPolicy` spends a unit's attempts, the
+    distributed queue when a task's claim budget is spent — so campaign
+    scripts can branch on quarantine as a failure class distinct from a
+    first-attempt execution error.  ``task_key``/``tag`` name the first
+    quarantined unit; :attr:`quarantined_keys` lists every one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_key: str = "",
+        tag: str = "",
+        quarantined_keys: tuple[str, ...] = (),
+    ):
+        """Store the first failing identity plus all quarantined keys."""
+        super().__init__(message, task_key=task_key, tag=tag)
+        #: Content-hash keys of every quarantined unit, in batch order.
+        self.quarantined_keys = tuple(quarantined_keys)
 
 
 class BackendUnavailableError(ConfigurationError):
@@ -76,3 +165,38 @@ class MappingError(ReproError):
 
 class TrainingError(ReproError):
     """Model training failed to make progress or received bad inputs."""
+
+
+#: CLI exit code: success.
+EXIT_OK = 0
+#: CLI exit code: any :class:`ReproError` without a more specific code.
+EXIT_FAILURE = 1
+#: CLI exit code: argparse usage errors (argparse's own convention).
+EXIT_USAGE = 2
+#: CLI exit code: invalid configuration (:class:`ConfigurationError`).
+EXIT_CONFIG = 3
+#: CLI exit code: a campaign task failed (:class:`TaskExecutionError`).
+EXIT_TASK_FAILURE = 4
+#: CLI exit code: tasks quarantined (:class:`TaskQuarantinedError`).
+EXIT_QUARANTINE = 5
+#: CLI exit code: checkpoint corruption (:class:`CheckpointError`).
+EXIT_CHECKPOINT = 6
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception onto the CLI's documented exit codes.
+
+    Most-specific classes match first — quarantine before generic task
+    failure, checkpoint corruption before generic configuration — so
+    scripts can branch on the exit status alone.  Exceptions outside the
+    :class:`ReproError` taxonomy map to :data:`EXIT_FAILURE`.
+    """
+    if isinstance(exc, TaskQuarantinedError):
+        return EXIT_QUARANTINE
+    if isinstance(exc, TaskExecutionError):
+        return EXIT_TASK_FAILURE
+    if isinstance(exc, CheckpointError):
+        return EXIT_CHECKPOINT
+    if isinstance(exc, ConfigurationError):
+        return EXIT_CONFIG
+    return EXIT_FAILURE

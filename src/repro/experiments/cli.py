@@ -60,17 +60,45 @@ shards — bit-identical results, and resilient to worker death (lease
 expiry reclaims the task).  ``python -m repro.experiments.cli worker
 --queue DIR`` runs one such worker by hand against an existing batch
 directory.
+
+``--chaos SPEC`` arms the deterministic chaos framework
+(:mod:`repro.runtime.chaos`) for resilience drills: ``SPEC`` is either a
+JSON object or compact ``key=value`` pairs (``seed=7,worker_crash=0.2,
+torn_write=0.1,slow_unit=0.05``), and every injection decision is a
+pure function of (chaos seed, task key, attempt) — reruns reproduce the
+same faults, and a chaos run that completes is bit-identical to an
+undisturbed one.
+``--max-attempts`` / ``--unit-deadline`` configure the unified retry
+policy (:class:`repro.runtime.RetryPolicy`) both backends share.
+
+``python -m repro.experiments.cli checkpoint fsck PATH [--repair]
+[--json]`` verifies a checkpoint store or shard directory offline
+(per-record CRCs, record shape, duplicates) and with ``--repair``
+compacts it to a clean version-3 store, quarantining damaged raw lines
+into ``*.quarantined`` sidecars.
+
+Exit codes follow the :mod:`repro.errors` taxonomy so scripts can branch
+on the status alone: 0 success, 2 usage errors (argparse), 3 invalid
+configuration, 4 task execution failure, 5 tasks quarantined after
+retry exhaustion, 6 checkpoint corruption, 1 anything else.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 
+from repro.errors import (
+    EXIT_CHECKPOINT,
+    EXIT_OK,
+    ReproError,
+    exit_code_for,
+)
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig_portfolio
 from repro.experiments.common import FULL, QUICK, make_engine
-from repro.runtime import stream_reporter
+from repro.runtime import ChaosSpec, RetryPolicy, fsck, stream_reporter
 from repro.stats import StopRule
 
 _FIGURES = {
@@ -152,15 +180,120 @@ def _worker_main(argv: list[str]) -> int:
         max_tasks=args.max_tasks,
     )
     print(f"worker finished: {completed} task(s) completed")
-    return 0
+    return EXIT_OK
+
+
+def _format_fsck_report(report) -> str:
+    """Human-readable fsck summary naming every dropped key."""
+    lines = [
+        f"checkpoint fsck: {len(report.files)} file(s), "
+        f"{report.intact_records} intact record(s), "
+        f"{report.damaged_lines} damaged line(s)"
+    ]
+    for entry in report.files:
+        version = (
+            f"v{entry.version}" if entry.version is not None else "not a checkpoint"
+        )
+        flags = []
+        if entry.duplicates:
+            flags.append(f"{entry.duplicates} duplicate(s)")
+        if entry.repaired:
+            flags.append("repaired")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {entry.path}: {version}, {entry.records} record(s), "
+            f"{len(entry.damaged)} damaged{suffix}"
+        )
+    if report.dropped_keys:
+        lines.append("dropped keys (no intact copy anywhere in the set):")
+        lines.extend(f"  {key}" for key in report.dropped_keys)
+    keyless = report.unrecoverable - len(report.dropped_keys)
+    if keyless:
+        lines.append(f"damaged line(s) without an extractable key: {keyless}")
+    if report.clean:
+        lines.append("store is clean")
+    elif report.repaired:
+        lines.append(
+            "store repaired; damaged lines quarantined to *.quarantined "
+            "(resume recomputes any dropped keys)"
+        )
+    else:
+        lines.append("store is DAMAGED; rerun with --repair to compact")
+    return "\n".join(lines)
+
+
+def _checkpoint_main(argv: list[str]) -> int:
+    """Entry point of ``cli checkpoint``: offline store maintenance.
+
+    ``fsck PATH`` verifies a checkpoint store (or a directory of shards
+    and stores) line by line — version-3 CRCs, record shape, duplicates
+    — and with ``--repair`` compacts every damaged or legacy file to a
+    clean version-3 store, quarantining damaged raw lines aside.  Exits
+    0 when the store is (or was repaired to) clean, 6 when damage
+    remains.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments checkpoint",
+        description="Verify and repair campaign checkpoint stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    fsck_parser = sub.add_parser(
+        "fsck",
+        help="verify per-record CRCs; --repair compacts to a clean store",
+    )
+    fsck_parser.add_argument(
+        "path",
+        metavar="PATH",
+        help="checkpoint file, or directory of shards/stores to walk",
+    )
+    fsck_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite damaged/legacy files as clean v3 stores "
+        "(damaged raw lines are kept in *.quarantined sidecars)",
+    )
+    fsck_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the full report as JSON (for CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+    report = fsck(args.path, repair=args.repair)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_format_fsck_report(report))
+    if report.clean:
+        return EXIT_OK
+    if args.repair and fsck(args.path).clean:
+        return EXIT_OK
+    return EXIT_CHECKPOINT
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Parse arguments, run the requested experiments, print reports."""
+    """Parse arguments, run the requested experiments, print reports.
+
+    Dispatches the ``worker`` and ``checkpoint`` subcommands, then the
+    figure interface.  :class:`~repro.errors.ReproError` failures exit
+    with the taxonomy's code (see the module docstring) instead of a
+    traceback.
+    """
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "worker":
-        return _worker_main(argv[1:])
+    try:
+        if argv and argv[0] == "worker":
+            return _worker_main(argv[1:])
+        if argv and argv[0] == "checkpoint":
+            return _checkpoint_main(argv[1:])
+        return _figures_main(argv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+
+
+def _figures_main(argv: list[str]) -> int:
+    """The figure interface: parse flags, run figures, print reports."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures as text reports + JSON.",
@@ -287,6 +420,34 @@ def main(argv: list[str] | None = None) -> int:
         "directories (default: <results>/queue)",
     )
     parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="deterministic chaos injection for resilience drills: a JSON "
+        "object or pairs like 'seed=7,worker_crash=0.2,torn_write=0.1,"
+        "slow_unit=0.05' (rates: unit_error, slow_unit, worker_crash, "
+        "torn_write, enospc, lost_heartbeat; plus seed, "
+        "slow_unit_seconds, fail_tags=a|b).  Decisions are pure "
+        "functions of (seed, task key, attempt); a completing chaos run "
+        "is bit-identical to an undisturbed one",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per campaign unit on both backends before it "
+        "is quarantined (default: 3)",
+    )
+    parser.add_argument(
+        "--unit-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit deadline watchdog: a unit running longer is "
+        "aborted and retried under the same budget (default: none)",
+    )
+    parser.add_argument(
         "--kernel-backend",
         choices=("reference", "optimized", "torch"),
         default=None,
@@ -328,6 +489,18 @@ def main(argv: list[str] | None = None) -> int:
     elif args.ci_halfwidth is not None or args.max_seeds is not None:
         parser.error("--ci-halfwidth/--max-seeds require --adaptive-ber")
 
+    # Parsed here (not in argparse) so a malformed spec exits with the
+    # configuration code (3), not argparse's usage code (2).
+    chaos = ChaosSpec.parse(args.chaos) if args.chaos else None
+    retry = None
+    if args.max_attempts is not None or args.unit_deadline is not None:
+        retry_kwargs = {}
+        if args.max_attempts is not None:
+            retry_kwargs["max_attempts"] = args.max_attempts
+        if args.unit_deadline is not None:
+            retry_kwargs["deadline"] = args.unit_deadline
+        retry = RetryPolicy(**retry_kwargs)
+
     profile = FULL if args.profile == "full" else QUICK
     if scheme is not None:
         profile = dataclasses.replace(profile, rng_scheme=scheme)
@@ -346,6 +519,8 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         queue=args.queue,
         kernel_backend=args.kernel_backend,
+        chaos=chaos,
+        retry=retry,
     )
     targets = sorted(_FIGURES) if "all" in args.figures else args.figures
     for name in targets:
@@ -369,7 +544,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = module.run(profile=profile, engine=engine, **extra)
         print(module.format_report(payload))
         print()
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

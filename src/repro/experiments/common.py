@@ -71,6 +71,8 @@ def make_engine(
     backend: str = "pool",
     queue: str | Path | None = None,
     kernel_backend: str | None = None,
+    chaos=None,
+    retry=None,
 ) -> CampaignEngine:
     """Campaign engine with the default checkpoint under ``results_dir()``.
 
@@ -87,6 +89,12 @@ def make_engine(
     compute backend (CLI ``--kernel-backend``; see :mod:`repro.backends`)
     applied to every model the engine evaluates — also bit-identical by
     contract, so checkpoints stay shareable across kernel backends.
+    ``chaos`` (a :class:`repro.runtime.ChaosSpec`; CLI ``--chaos``)
+    injects deterministic faults for resilience drills, and ``retry``
+    (a :class:`repro.runtime.RetryPolicy`; CLI ``--max-attempts`` /
+    ``--unit-deadline``) sets the shared retry/backoff/deadline policy —
+    neither changes completed results, chaos only perturbs the road
+    there.
     """
     path = Path(checkpoint) if checkpoint else results_dir() / "checkpoints" / "campaign.json"
     queue_dir = None
@@ -102,6 +110,8 @@ def make_engine(
         backend=backend,
         queue_dir=queue_dir,
         kernel_backend=kernel_backend,
+        chaos=chaos,
+        retry=retry,
     )
 
 

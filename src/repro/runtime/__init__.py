@@ -18,12 +18,24 @@ the forked pool (default) and the distributed work-queue backend
 (``CampaignEngine(backend="distributed")`` — :mod:`repro.runtime.queue` +
 :mod:`repro.runtime.distributed`: SQLite task leases, heartbeats,
 stale-lease reclaim, retry/quarantine, per-worker checkpoint shards
-merged by content key), bit-identical to each other.  See
+merged by content key), bit-identical to each other.  Resilience is a
+first-class surface: a unified :class:`RetryPolicy` (bounded attempts,
+seeded exponential backoff, transient-vs-permanent classification,
+optional per-unit deadline) governs both executors, the deterministic
+chaos framework (:class:`ChaosSpec`, :mod:`repro.runtime.chaos`) injects
+reproducible faults for drills, and checkpoint stores carry per-record
+CRCs with an offline :func:`fsck` checker/repairer.  See
 ``docs/RUNTIME.md`` for the full contract and ``docs/ARCHITECTURE.md``
 for the data flow.
 """
 
-from repro.runtime.checkpoint import CampaignCheckpoint
+from repro.runtime.chaos import CHAOS_KINDS, ChaosSpec, chaos_from_env
+from repro.runtime.checkpoint import (
+    CampaignCheckpoint,
+    FsckFileReport,
+    FsckReport,
+    fsck,
+)
 from repro.runtime.engine import (
     BACKEND_DISTRIBUTED,
     BACKEND_POOL,
@@ -51,12 +63,21 @@ from repro.runtime.progress import (
     null_reporter,
     stream_reporter,
 )
+from repro.runtime.retry import RetryPolicy, unit_deadline
 from repro.runtime.tasks import TaskSpec
 
 __all__ = [
     "CampaignEngine",
     "CampaignCheckpoint",
+    "ChaosSpec",
+    "CHAOS_KINDS",
+    "FsckFileReport",
+    "FsckReport",
+    "RetryPolicy",
     "SweepStats",
+    "chaos_from_env",
+    "fsck",
+    "unit_deadline",
     "BACKEND_DISTRIBUTED",
     "BACKEND_POOL",
     "SAMPLE_SHARD_AUTO",

@@ -1,0 +1,393 @@
+"""Deterministic chaos framework for the campaign runtime.
+
+Chaos testing asks: *does the runtime's detect/contain/recover machinery
+actually recover?*  The previous answer hung off two undocumented
+environment variables (``REPRO_WORKER_TASK_DELAY`` and
+``REPRO_WORKER_FAIL_TAGS``, now deprecated aliases); this module replaces
+them with a first-class, serializable :class:`ChaosSpec` whose every
+injection decision is a **pure function of (chaos seed, task key,
+attempt)** — the same keyed-Philox philosophy
+(:func:`repro.utils.rng.site_rng`) that makes the fault injectors
+partition-invariant.  Consequences:
+
+* a chaos run is **reproducible**: rerunning the same spec against the
+  same batch injects the same faults at the same units, whatever the
+  worker count or scheduling;
+* a chaos run is **convergent**: a fault keyed by ``(key, attempt)``
+  draws fresh on the retried attempt, so bounded retry drains the
+  injected faults exactly as it would drain real transient ones, and
+  the campaign completes **bit-identically** to the undisturbed run
+  (enforced by ``tests/test_chaos_matrix.py`` and the CI chaos-matrix
+  step);
+* chaos decisions need no shared state, so the spec pickles into the
+  distributed batch payload and every worker process reaches identical
+  verdicts.
+
+Fault kinds
+-----------
+=================  ==================================================
+``unit_error``     the unit raises :class:`~repro.errors.ChaosError`
+                   (a transient exception; retry re-runs it)
+``slow_unit``      the unit sleeps ``slow_unit_seconds`` first (pairs
+                   with the retry policy's per-unit deadline watchdog)
+``worker_crash``   the executing worker dies mid-unit: a real
+                   ``os._exit`` in distributed workers (lease expiry
+                   recovers), an in-band
+                   :class:`~repro.errors.WorkerCrashError` in pool
+                   workers (whose queue would die with the process —
+                   the retry path re-runs the unit exactly as a lease
+                   reclaim would)
+``torn_write``     a checkpoint/shard append persists only a prefix of
+                   the record (a crash mid-write); CRC/salvage drops
+                   the torn line and the record is re-flushed or
+                   recomputed
+``enospc``         the checkpoint flush fails with ``ENOSPC``; records
+                   stay in memory and the flush is retried with
+                   backoff (the engine degrades checkpoint-less when
+                   the budget is spent)
+``lost_heartbeat`` a distributed worker's heartbeat thread goes silent
+                   for one lease; the lease expires and the unit is
+                   (harmlessly, content-addressed) double-executed
+=================  ==================================================
+
+``fail_tags`` is the legacy poison-task hook: units whose *tag* matches
+raise on **every** attempt, so the retry budget exhausts and the unit is
+quarantined — the one chaos kind meant to *not* converge.
+
+Threading
+---------
+``CampaignEngine(chaos=spec)`` / CLI ``--chaos SPEC`` threads one spec
+through both backends; ``ChaosSpec.parse`` accepts either a JSON object
+or compact ``key=value`` pairs (``"seed=7,unit_error=0.2,
+worker_crash=0.1,torn_write=0.2"``).  Production runs simply leave
+``chaos=None`` — every hook is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass, field, fields, replace
+
+from repro.errors import ChaosError, ConfigurationError, WorkerCrashError
+from repro.utils.rng import site_rng
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosSpec",
+    "apply_unit_chaos",
+    "chaos_from_env",
+]
+
+#: Recognized fault kinds, in documentation order.
+CHAOS_KINDS = (
+    "unit_error",
+    "slow_unit",
+    "worker_crash",
+    "torn_write",
+    "enospc",
+    "lost_heartbeat",
+)
+
+#: Exit status used by chaos-crashed distributed workers (mirrors the
+#: shell convention for SIGKILLed processes).
+CRASH_EXIT_STATUS = 137
+
+#: Deprecated environment hooks (aliases onto ChaosSpec since PR 10).
+ENV_TASK_DELAY = "REPRO_WORKER_TASK_DELAY"
+ENV_FAIL_TAGS = "REPRO_WORKER_FAIL_TAGS"
+
+#: Short CLI names for the rate fields of :class:`ChaosSpec`.
+_RATE_FIELDS = {
+    "unit_error": "unit_error_rate",
+    "slow_unit": "slow_unit_rate",
+    "worker_crash": "worker_crash_rate",
+    "torn_write": "torn_write_rate",
+    "enospc": "enospc_rate",
+    "lost_heartbeat": "lost_heartbeat_rate",
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Serializable description of the faults to inject, and how often.
+
+    Every rate is a per-decision probability in ``[0, 1]``; a decision
+    point (one unit attempt, one flush attempt) consults
+    :meth:`decide` with its fault kind, its content key and its attempt
+    number, and the verdict is a pure function of those plus ``seed`` —
+    no global RNG, no ordering effects, no cross-process divergence.
+
+    Parameters
+    ----------
+    seed:
+        Chaos campaign seed.  Two specs differing only in seed inject
+        statistically alike but site-wise different fault patterns.
+    unit_error_rate:
+        Probability a unit attempt raises a transient
+        :class:`~repro.errors.ChaosError` before evaluating.
+    slow_unit_rate / slow_unit_seconds:
+        Probability a unit attempt first sleeps ``slow_unit_seconds``.
+    worker_crash_rate:
+        Probability the worker executing a unit attempt dies mid-unit
+        (see the module docs for the per-backend realization).
+    torn_write_rate:
+        Probability a checkpoint/shard append persists only a prefix of
+        its record.
+    enospc_rate:
+        Probability a checkpoint flush attempt fails as if the disk
+        were full.
+    lost_heartbeat_rate:
+        Probability a distributed worker's heartbeat goes silent for
+        one claimed lease.
+    fail_tags:
+        Task tags that raise on **every** attempt (poison tasks; the
+        deprecated ``REPRO_WORKER_FAIL_TAGS`` alias feeds this).
+    """
+
+    seed: int = 0
+    unit_error_rate: float = 0.0
+    slow_unit_rate: float = 0.0
+    slow_unit_seconds: float = 0.05
+    worker_crash_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    enospc_rate: float = 0.0
+    lost_heartbeat_rate: float = 0.0
+    fail_tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        """Validate rates, durations and tag list at construction."""
+        for short, name in _RATE_FIELDS.items():
+            rate = getattr(self, name)
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ConfigurationError(
+                    f"chaos rate {short} must be in [0, 1], got {rate!r}"
+                )
+            object.__setattr__(self, name, float(rate))
+        if self.slow_unit_seconds < 0:
+            raise ConfigurationError(
+                f"slow_unit_seconds must be >= 0, got {self.slow_unit_seconds}"
+            )
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self, "fail_tags", tuple(str(tag) for tag in self.fail_tags)
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault kind can fire (rate > 0 or poison tags)."""
+        return bool(self.fail_tags) or any(
+            getattr(self, name) > 0.0 for name in _RATE_FIELDS.values()
+        )
+
+    def rate(self, kind: str) -> float:
+        """The configured probability for one fault ``kind``."""
+        try:
+            return getattr(self, _RATE_FIELDS[kind])
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown chaos kind {kind!r}; expected one of "
+                f"{', '.join(CHAOS_KINDS)}"
+            ) from None
+
+    def decide(self, kind: str, key: str, attempt: int) -> bool:
+        """Does fault ``kind`` fire at ``(key, attempt)``?  Pure function.
+
+        The verdict compares one keyed-Philox uniform draw —
+        ``site_rng(seed, "chaos", kind, key, attempt)`` — against the
+        kind's rate, so any process (pool worker, distributed worker,
+        coordinator, a rerun next week) reaches the same answer, and a
+        *retried* attempt of the same unit draws independently: bounded
+        retry drains injected faults deterministically.
+        """
+        rate = self.rate(kind)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        draw = site_rng(self.seed, "chaos", kind, key, int(attempt)).random()
+        return bool(draw < rate)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (CLI round-trip, payload transport)."""
+        doc = {f.name: getattr(self, f.name) for f in fields(self)}
+        doc["fail_tags"] = list(self.fail_tags)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ChaosSpec":
+        """Inverse of :meth:`to_dict`; unknown fields are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ChaosSpec field(s) {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        return cls(**doc)
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse a CLI ``--chaos`` spec string.
+
+        Accepts either a JSON object (``'{"seed": 7, "unit_error_rate":
+        0.2}'``) or compact comma-separated ``key=value`` pairs using
+        the short kind names (``"seed=7,unit_error=0.2,torn_write=0.1,
+        fail_tags=poison|bad"``, tags ``|``-separated).  Raises
+        :class:`~repro.errors.ConfigurationError` on anything else, so
+        the CLI surfaces a typed configuration failure (exit code
+        contract) rather than a stack trace.
+        """
+        text = text.strip()
+        if not text:
+            raise ConfigurationError("--chaos spec must not be empty")
+        if text.startswith("{"):
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"--chaos JSON spec is invalid: {exc}"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise ConfigurationError(
+                    f"--chaos JSON spec must be an object, got {type(doc).__name__}"
+                )
+            return cls.from_dict(doc)
+        doc = {}
+        for pair in text.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ConfigurationError(
+                    f"--chaos pair {pair!r} is not key=value (spec: "
+                    f"{text!r})"
+                )
+            name, value = (part.strip() for part in pair.split("=", 1))
+            if name in _RATE_FIELDS:
+                doc[_RATE_FIELDS[name]] = _parse_float(name, value)
+            elif name in ("slow_unit_seconds",):
+                doc[name] = _parse_float(name, value)
+            elif name == "seed":
+                try:
+                    doc["seed"] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"--chaos seed must be an integer, got {value!r}"
+                    ) from None
+            elif name == "fail_tags":
+                doc["fail_tags"] = tuple(
+                    tag for tag in value.split("|") if tag
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown --chaos key {name!r}; expected seed, "
+                    f"slow_unit_seconds, fail_tags or a rate among "
+                    f"{', '.join(_RATE_FIELDS)}"
+                )
+        return cls(**doc)
+
+    def describe(self) -> str:
+        """Compact human-readable summary (logs, CI reports)."""
+        parts = [f"seed={self.seed}"]
+        for short, name in _RATE_FIELDS.items():
+            rate = getattr(self, name)
+            if rate > 0.0:
+                parts.append(f"{short}={rate:g}")
+        if self.slow_unit_rate > 0.0:
+            parts.append(f"slow_unit_seconds={self.slow_unit_seconds:g}")
+        if self.fail_tags:
+            parts.append("fail_tags=" + "|".join(self.fail_tags))
+        return ",".join(parts)
+
+
+def _parse_float(name: str, value: str) -> float:
+    """Parse one ``--chaos`` numeric value with a typed error."""
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"--chaos {name} must be a number, got {value!r}"
+        ) from None
+
+
+def apply_unit_chaos(
+    chaos: "ChaosSpec | None",
+    key: str,
+    tag: str,
+    attempt: int,
+    allow_exit: bool = False,
+) -> None:
+    """Run the pre-evaluation chaos hooks for one unit attempt.
+
+    Called by every executor immediately before evaluating a unit —
+    the pool worker, the serial path and the distributed worker all
+    share this one function, so a given ``(key, attempt)`` suffers the
+    same injected fate wherever it is scheduled.  Order: slow-unit sleep
+    first (so a slow *and* doomed unit exercises the deadline watchdog
+    before dying), then poison tags, then the transient unit error, then
+    the worker crash.
+
+    ``allow_exit=True`` (distributed workers) realizes ``worker_crash``
+    as a real ``os._exit(137)`` — the lease protocol's recovery path is
+    the thing under test.  Pool and serial executors pass ``False`` and
+    get an in-band :class:`~repro.errors.WorkerCrashError` instead (a
+    ``multiprocessing.Pool`` cannot lose a process without losing the
+    result queue it shares), which the engine's retry path re-runs
+    exactly as a lease reclaim would.
+    """
+    if chaos is None or not chaos.active:
+        return
+    if chaos.decide("slow_unit", key, attempt):
+        time.sleep(chaos.slow_unit_seconds)
+    if tag and tag in chaos.fail_tags:
+        raise ChaosError(
+            f"chaos: poison tag {tag!r} (task {key}, attempt {attempt}) — "
+            "fails every attempt by design"
+        )
+    if chaos.decide("unit_error", key, attempt):
+        raise ChaosError(
+            f"chaos: injected transient unit error (task {key}, attempt "
+            f"{attempt})"
+        )
+    if chaos.decide("worker_crash", key, attempt):
+        if allow_exit:
+            # A real mid-unit death: no cleanup, no shard row, no
+            # heartbeat — precisely what lease expiry must recover from.
+            os._exit(CRASH_EXIT_STATUS)
+        raise WorkerCrashError(
+            f"chaos: simulated worker crash (task {key}, attempt {attempt})"
+        )
+
+
+def chaos_from_env(environ=None) -> "ChaosSpec | None":
+    """Deprecated env-var chaos hooks, expressed as a :class:`ChaosSpec`.
+
+    ``REPRO_WORKER_TASK_DELAY=S`` (every unit sleeps ``S`` seconds) maps
+    to ``slow_unit_rate=1.0, slow_unit_seconds=S``;
+    ``REPRO_WORKER_FAIL_TAGS=a,b`` maps to ``fail_tags=("a", "b")``.
+    Returns ``None`` when neither variable is set.  Emits a
+    :class:`DeprecationWarning` — pass ``CampaignEngine(chaos=...)`` or
+    the CLI's ``--chaos`` instead — but keeps the variables working so
+    existing harnesses (and mid-flight fleets) survive the migration.
+    """
+    environ = os.environ if environ is None else environ
+    delay = float(environ.get(ENV_TASK_DELAY, "0") or 0.0)
+    tags = tuple(
+        tag for tag in environ.get(ENV_FAIL_TAGS, "").split(",") if tag
+    )
+    if delay <= 0.0 and not tags:
+        return None
+    warnings.warn(
+        f"{ENV_TASK_DELAY}/{ENV_FAIL_TAGS} are deprecated chaos hooks; "
+        "use CampaignEngine(chaos=ChaosSpec(...)) or the CLI --chaos "
+        "flag instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = ChaosSpec(fail_tags=tags)
+    if delay > 0.0:
+        spec = replace(spec, slow_unit_rate=1.0, slow_unit_seconds=delay)
+    return spec

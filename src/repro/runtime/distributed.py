@@ -42,11 +42,20 @@ quarantined, and finishes by merging the shards into the batch's
 ``merged.json`` — the content-addressed result store the engine's own
 checkpoint then absorbs.
 
-Chaos-test hooks (used by the fault-injection test harness, harmless in
-production): ``REPRO_WORKER_TASK_DELAY`` makes a worker sleep that many
-seconds while *holding* each lease (a stalled worker), and
-``REPRO_WORKER_FAIL_TAGS`` (comma-separated task tags) makes evaluation
-of matching units raise (a poison task).
+Chaos testing routes through the deterministic chaos framework
+(:mod:`repro.runtime.chaos`): the coordinator pickles the engine's
+:class:`~repro.runtime.chaos.ChaosSpec` into the batch payload, and every
+worker applies the same keyed decisions — slow units and injected unit
+errors via :func:`~repro.runtime.chaos.apply_unit_chaos`, **real**
+mid-lease ``os._exit`` worker crashes (lease expiry is the recovery path
+under test), torn shard appends (a prefix of the record hits disk, then
+the worker dies; CRC salvage drops the torn line and the reclaiming
+worker's intact row wins), and silent lost heartbeats (the lease expires
+under a live worker; content-addressed completion keeps double execution
+harmless).  The legacy env hooks ``REPRO_WORKER_TASK_DELAY`` /
+``REPRO_WORKER_FAIL_TAGS`` remain as deprecated aliases
+(:func:`~repro.runtime.chaos.chaos_from_env`) consulted only when the
+payload carries no spec.
 """
 
 from __future__ import annotations
@@ -60,11 +69,27 @@ import threading
 import time
 from pathlib import Path
 
-from repro.errors import CheckpointError, ConfigurationError, TaskExecutionError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    TaskExecutionError,
+    TaskQuarantinedError,
+)
 from repro.faultsim.model import RNG_COUNTER
 from repro.faultsim.replay import build_golden_run
-from repro.runtime.checkpoint import CampaignCheckpoint, _row_result
+from repro.runtime.chaos import (
+    CRASH_EXIT_STATUS,
+    apply_unit_chaos,
+    chaos_from_env,
+)
+from repro.runtime.checkpoint import (
+    CampaignCheckpoint,
+    _VERSION as _CHECKPOINT_VERSION,
+    _row_result,
+    encode_record,
+)
 from repro.runtime.queue import WorkQueue
+from repro.runtime.retry import RetryPolicy
 
 __all__ = [
     "load_payload",
@@ -78,23 +103,31 @@ __all__ = [
 PAYLOAD_NAME = "payload.pkl"
 SHARD_DIR = "shards"
 MERGED_NAME = "merged.json"
-_PAYLOAD_VERSION = 1
+_PAYLOAD_VERSION = 2
 
 
-def write_payload(root, qmodel, x, labels, config, units, replay=False) -> Path:
+def write_payload(
+    root, qmodel, x, labels, config, units, replay=False, chaos=None
+) -> Path:
     """Write one batch's evaluation payload (atomic tmp + rename).
 
     The payload is everything a worker needs beyond the queue itself:
     the quantized model, the (untrimmed) evaluation arrays, the campaign
-    config, the subtask-granularity unit table and whether to serve
-    units through a locally built golden-run cache.  Queue specs index
-    into the unit table, mirroring the pool backend's dispatch-by-index.
+    config, the subtask-granularity unit table, whether to serve units
+    through a locally built golden-run cache, and the coordinator's
+    chaos spec (``None`` in production) — shipped in-band so every
+    worker reaches identical keyed injection decisions.  Queue specs
+    index into the unit table, mirroring the pool backend's
+    dispatch-by-index.
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     path = root / PAYLOAD_NAME
     blob = pickle.dumps(
-        (_PAYLOAD_VERSION, qmodel, x, labels, config, list(units), bool(replay)),
+        (
+            _PAYLOAD_VERSION, qmodel, x, labels, config, list(units),
+            bool(replay), chaos,
+        ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     tmp = path.with_suffix(f".{os.getpid()}.tmp")
@@ -106,9 +139,11 @@ def write_payload(root, qmodel, x, labels, config, units, replay=False) -> Path:
 def load_payload(root, timeout: float = 30.0, poll: float = 0.1):
     """Load a batch payload, waiting briefly for the coordinator to write it.
 
-    Returns ``(qmodel, x, labels, config, units, replay)``.  The wait
-    tolerates a worker started against a directory the coordinator is
-    still preparing; after ``timeout`` seconds a missing payload raises
+    Returns ``(qmodel, x, labels, config, units, replay, chaos)``.
+    Version-1 payloads (pre-chaos coordinators) still load, with
+    ``chaos=None``.  The wait tolerates a worker started against a
+    directory the coordinator is still preparing; after ``timeout``
+    seconds a missing payload raises
     :class:`~repro.errors.ConfigurationError`.
     """
     path = Path(root) / PAYLOAD_NAME
@@ -121,12 +156,18 @@ def load_payload(root, timeout: float = 30.0, poll: float = 0.1):
             )
         time.sleep(poll)
     with open(path, "rb") as handle:
-        version, qmodel, x, labels, config, units, replay = pickle.load(handle)
-    if version != _PAYLOAD_VERSION:
+        blob = pickle.load(handle)
+    version = blob[0]
+    if version == 1:
+        _, qmodel, x, labels, config, units, replay = blob
+        chaos = None
+    elif version == _PAYLOAD_VERSION:
+        _, qmodel, x, labels, config, units, replay, chaos = blob
+    else:
         raise ConfigurationError(
             f"batch payload {path} has unsupported version {version!r}"
         )
-    return qmodel, x, labels, config, units, replay
+    return qmodel, x, labels, config, units, replay, chaos
 
 
 def shard_paths(root) -> list[Path]:
@@ -149,6 +190,7 @@ def prepare_batch(
     replay=False,
     lease_timeout: float = 30.0,
     max_attempts: int = 3,
+    chaos=None,
 ) -> WorkQueue:
     """Materialize one batch directory: payload + enqueued work.
 
@@ -157,10 +199,13 @@ def prepare_batch(
     already served the rest from its checkpoint).  Duplicate keys within
     a batch — or keys left over from a previous batch in the same
     directory — enqueue once: work is deduped by content exactly like
-    checkpoint rows.
+    checkpoint rows.  ``chaos`` rides in the payload so workers inject
+    deterministically (see :func:`write_payload`).
     """
     root = Path(root)
-    write_payload(root, qmodel, x, labels, config, units, replay=replay)
+    write_payload(
+        root, qmodel, x, labels, config, units, replay=replay, chaos=chaos
+    )
     queue = WorkQueue(root, lease_timeout=lease_timeout, max_attempts=max_attempts)
     seen: dict[str, int] = {}
     for index in pending:
@@ -249,13 +294,15 @@ def run_worker(
     kill the worker loop.
 
     ``max_tasks`` bounds how many tasks this worker completes (tests);
-    the module docstring describes the chaos-injection environment
-    hooks.
+    the module docstring describes the chaos-injection path.
     """
     root = Path(root)
     worker_id = worker_id or f"worker-{os.uname().nodename}-{os.getpid()}"
-    qmodel, x, labels, config, units, replay = load_payload(root)
+    qmodel, x, labels, config, units, replay, chaos = load_payload(root)
+    if chaos is None:
+        chaos = chaos_from_env()
     queue = WorkQueue(root)
+    retry = RetryPolicy(max_attempts=queue.max_attempts)
     shard = CampaignCheckpoint(
         root / SHARD_DIR / f"{worker_id}.jsonl", flush_every=1
     )
@@ -263,12 +310,6 @@ def run_worker(
 
     from repro.runtime.engine import _evaluate_unit
 
-    delay = float(os.environ.get("REPRO_WORKER_TASK_DELAY", "0") or 0.0)
-    fail_tags = {
-        tag
-        for tag in os.environ.get("REPRO_WORKER_FAIL_TAGS", "").split(",")
-        if tag
-    }
     completed = 0
     while max_tasks is None or completed < max_tasks:
         lease = queue.claim(worker_id)
@@ -277,27 +318,63 @@ def run_worker(
                 break
             time.sleep(poll)
             continue
-        heartbeat = _Heartbeat(queue, lease.key, worker_id)
+        heartbeat = None
+        if chaos is None or not chaos.decide(
+            "lost_heartbeat", lease.key, lease.attempt
+        ):
+            heartbeat = _Heartbeat(queue, lease.key, worker_id)
         try:
-            if delay:
-                time.sleep(delay)
             unit = units[lease.spec["index"]]
-            if unit.tag in fail_tags:
-                raise RuntimeError(
-                    f"chaos hook: REPRO_WORKER_FAIL_TAGS matched tag "
-                    f"{unit.tag!r}"
+            if chaos is not None:
+                apply_unit_chaos(
+                    chaos, lease.key, unit.tag, lease.attempt, allow_exit=True
                 )
             result = _evaluate_unit(qmodel, x, labels, config, unit, golden)
         except Exception as exc:  # report to the queue, keep serving
-            heartbeat.stop()
+            if heartbeat is not None:
+                heartbeat.stop()
             queue.fail(lease.key, worker_id, f"{type(exc).__name__}: {exc}")
+            time.sleep(min(retry.backoff(lease.attempt, lease.key), poll * 10))
             continue
-        heartbeat.stop()
+        if heartbeat is not None:
+            heartbeat.stop()
+        if chaos is not None and chaos.decide(
+            "torn_write", lease.key, lease.attempt
+        ):
+            _tear_shard_and_die(shard.path, lease.key, result)
         shard.put(lease.key, result)
         shard.flush()
         queue.complete(lease.key, worker_id)
         completed += 1
     return completed
+
+
+def _tear_shard_and_die(shard_path, key: str, result) -> None:
+    """Chaos realization of a torn shard append: half a record, then death.
+
+    Writes the shard's v3 header first when the file does not exist yet
+    (real stores always receive their header atomically before any
+    record), appends only a prefix of the encoded record, fsyncs so the
+    torn line truly reaches disk, and kills the process with the
+    standard crash status.  Recovery is the production path under test:
+    the lease expires, another worker recomputes the unit, and the merge
+    step's CRC salvage drops the torn line in favor of the intact row.
+    """
+    shard_path = Path(shard_path)
+    shard_path.parent.mkdir(parents=True, exist_ok=True)
+    data = encode_record(key, result).encode("utf-8")
+    fd = os.open(
+        str(shard_path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+    )
+    try:
+        if os.fstat(fd).st_size == 0:
+            header = json.dumps({"version": _CHECKPOINT_VERSION}) + "\n"
+            os.write(fd, header.encode("utf-8"))
+        os.write(fd, data[: max(1, len(data) // 2)])
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os._exit(CRASH_EXIT_STATUS)
 
 
 class _ShardScanner:
@@ -378,20 +455,22 @@ def _spawn_worker(root: Path, index: int, python: str | None = None):
 
 
 def _raise_quarantined(quarantined, key_tags: dict) -> None:
-    """Surface the first quarantined task as a :class:`TaskExecutionError`.
+    """Surface quarantined tasks as a :class:`TaskQuarantinedError`.
 
-    The error names the failing task key and tag — the same identity the
-    pool backend attaches — so campaign drivers report failures
-    uniformly across backends.
+    The error names the first failing task key and tag — the same
+    identity the pool backend attaches — and carries every quarantined
+    key in ``quarantined_keys``, so campaign drivers report retry
+    exhaustion uniformly across backends.
     """
     key, attempts, error = quarantined[0]
     tag = key_tags.get(key, "")
     more = f" (+{len(quarantined) - 1} more)" if len(quarantined) > 1 else ""
-    raise TaskExecutionError(
+    raise TaskQuarantinedError(
         f"distributed task {key} (tag {tag!r}) quarantined after "
         f"{attempts} attempt(s){more}: {error}",
         task_key=key,
         tag=tag,
+        quarantined_keys=tuple(k for k, _, _ in quarantined),
     )
 
 
@@ -410,6 +489,7 @@ def run_distributed_batch(
     max_attempts: int = 3,
     poll: float = 0.1,
     spawn: bool = True,
+    chaos=None,
 ):
     """Coordinate one distributed batch; yields ``(index, result, 0.0)``.
 
@@ -427,11 +507,18 @@ def run_distributed_batch(
 
     Duplicate keys among ``pending`` (identical units submitted twice)
     are computed once and served to every requesting slot.
+
+    ``chaos`` (a :class:`~repro.runtime.chaos.ChaosSpec` or ``None``)
+    ships to workers in the payload; specs that can kill workers
+    (``worker_crash_rate`` / ``torn_write_rate``) widen the respawn
+    budget so deliberate crashes don't exhaust it before retried
+    attempts draw clean.
     """
     root = Path(root)
     queue = prepare_batch(
         root, qmodel, x, labels, config, units, keys, pending,
         replay=replay, lease_timeout=lease_timeout, max_attempts=max_attempts,
+        chaos=chaos,
     )
     key_slots: dict[str, list[int]] = {}
     for index in pending:
@@ -441,6 +528,12 @@ def run_distributed_batch(
     scanner = _ShardScanner(root / SHARD_DIR)
     n_procs = max(1, min(int(workers), len(unserved))) if unserved else 0
     respawn_budget = n_procs * max(1, max_attempts - 1)
+    if chaos is not None and (
+        chaos.worker_crash_rate > 0.0 or chaos.torn_write_rate > 0.0
+    ):
+        respawn_budget = max(
+            respawn_budget, len(unserved) * max_attempts + n_procs
+        )
     procs: list = []
     try:
         if spawn:
@@ -490,6 +583,17 @@ def run_distributed_batch(
                 )
             for index in key_slots[key]:
                 yield index, result, 0.0
+        if spawn:
+            # Workers exit on their own once the queue settles.  A shard
+            # row becomes visible (and servable above) the instant its
+            # os.write lands, slightly before the writer fsyncs and
+            # completes its lease — so give the last completer a grace
+            # period rather than terminating it mid-handshake and
+            # leaving a spuriously open lease behind.
+            grace = time.monotonic() + max(2.0, lease_timeout + 1.0)
+            for proc in procs:
+                while proc.poll() is None and time.monotonic() < grace:
+                    time.sleep(poll)
     finally:
         for proc in procs:
             if proc.poll() is None:

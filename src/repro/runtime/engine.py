@@ -110,13 +110,19 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.backends import get_backend as get_kernel_backend
-from repro.errors import ConfigurationError, TaskExecutionError
+from repro.errors import (
+    CheckpointWriteError,
+    ConfigurationError,
+    TaskExecutionError,
+    TaskQuarantinedError,
+)
 from repro.faultsim.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -131,7 +137,9 @@ from repro.faultsim.model import RNG_COUNTER
 from repro.faultsim.protection import ProtectionPlan
 from repro.faultsim.replay import GoldenRun, build_golden_run
 from repro.quantized.qmodel import QuantizedModel
+from repro.runtime.chaos import ChaosSpec, apply_unit_chaos
 from repro.runtime.checkpoint import CampaignCheckpoint
+from repro.runtime.retry import RetryPolicy, unit_deadline
 from repro.runtime.hashing import (
     batch_task_keys,
     data_fingerprint,
@@ -250,11 +258,16 @@ class _UnitFailure:
     knows which unit failed and raises a
     :class:`~repro.errors.TaskExecutionError` naming its checkpoint key
     and tag — the same identity the distributed backend's quarantine
-    reports.
+    reports.  ``transient`` carries the worker-side
+    :meth:`RetryPolicy.is_transient` classification across the process
+    boundary (the exception object itself does not cross), so the
+    consumer can re-dispatch retryable units and quarantine exhausted
+    ones instead of failing the batch on the first error.
     """
 
     message: str
     details: str
+    transient: bool = False
 
 
 def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec, golden=None):
@@ -270,22 +283,44 @@ def _evaluate_unit(qmodel, x, labels, config, task: TaskSpec, golden=None):
     )
 
 
-def _run_task(index: int):
-    """Evaluate one task (by table index) inside a worker process.
+def _attempt_unit(payload: tuple, index: int, attempt: int):
+    """One guarded unit attempt: chaos hooks, deadline watchdog, evaluate.
 
-    Exceptions come back as :class:`_UnitFailure` results so the parent
-    can attach the failing unit's key and tag (see the sentinel's docs).
+    The shared execution core of the serial path and the pool worker:
+    applies the pre-evaluation chaos hooks (slow unit, poison tag,
+    injected error, simulated crash — all pure functions of the unit's
+    key and this attempt number), arms the per-unit deadline watchdog
+    when the retry policy carries one, and classifies any exception
+    transient/permanent for the consumer's retry decision.
     """
-    qmodel, x, labels, config, tasks, golden = _WORKER_PAYLOAD
+    qmodel, x, labels, config, tasks, golden, keys, chaos, retry = payload
     start = time.perf_counter()
     try:
-        result = _evaluate_unit(qmodel, x, labels, config, tasks[index], golden)
+        apply_unit_chaos(
+            chaos, keys[index], tasks[index].tag, attempt, allow_exit=False
+        )
+        deadline = retry.deadline if retry is not None else None
+        with unit_deadline(deadline, what=f"unit {keys[index] or index}"):
+            result = _evaluate_unit(
+                qmodel, x, labels, config, tasks[index], golden
+            )
     except Exception as exc:
         result = _UnitFailure(
             message=f"{type(exc).__name__}: {exc}",
             details=traceback.format_exc(),
+            transient=RetryPolicy.is_transient(exc),
         )
     return index, result, time.perf_counter() - start
+
+
+def _run_task(item: tuple[int, int]):
+    """Evaluate one ``(table index, attempt)`` inside a pool worker.
+
+    Exceptions come back as :class:`_UnitFailure` results so the parent
+    can attach the failing unit's key and tag (see the sentinel's docs).
+    """
+    index, attempt = item
+    return _attempt_unit(_WORKER_PAYLOAD, index, attempt)
 
 
 class CampaignEngine:
@@ -342,9 +377,27 @@ class CampaignEngine:
         Distributed only: seconds a claimed task's lease lasts without a
         heartbeat before another worker may reclaim it.
     max_attempts:
-        Distributed only: claim attempts per task before it is
-        quarantined as poison and the batch fails with
-        :class:`~repro.errors.TaskExecutionError`.
+        Execution/claim budget per unit — shared by both backends since
+        the unified retry policy: the pool re-runs transiently failed
+        units this many times before quarantining them, the distributed
+        queue uses the same number as its lease claim budget.
+        Quarantine surfaces as
+        :class:`~repro.errors.TaskQuarantinedError` naming every
+        quarantined key, uniformly across backends.  Ignored when an
+        explicit ``retry`` policy is passed.
+    retry:
+        Optional :class:`repro.runtime.RetryPolicy` governing attempt
+        budgets, backoff and the per-unit deadline for both backends
+        (see :mod:`repro.runtime.retry`).  ``None`` builds one from
+        ``max_attempts`` with default backoff and no deadline.
+    chaos:
+        Optional :class:`repro.runtime.ChaosSpec` injecting
+        deterministic faults — unit errors, slow units, worker crashes,
+        torn checkpoint writes, ENOSPC flushes, lost heartbeats — whose
+        decisions are pure functions of (chaos seed, task key, attempt),
+        so a chaos run completes bit-identically to the undisturbed run
+        once the runtime's recovery machinery drains the injected
+        faults.  ``None`` (default) injects nothing.
     kernel_backend:
         Optional kernel backend name (``"reference"``, ``"optimized"``
         or ``"torch"``; see :mod:`repro.backends`) applied to every
@@ -370,6 +423,8 @@ class CampaignEngine:
         lease_timeout: float = 30.0,
         max_attempts: int = 3,
         kernel_backend: str | None = None,
+        retry: RetryPolicy | None = None,
+        chaos: ChaosSpec | None = None,
     ):
         self.workers = resolve_workers(workers)
         if kernel_backend is not None:
@@ -390,7 +445,20 @@ class CampaignEngine:
         self.backend = backend
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
         self.lease_timeout = float(lease_timeout)
-        self.max_attempts = int(max_attempts)
+        #: Unified retry policy (attempt budget, backoff, deadline) for
+        #: both backends; an explicit policy overrides ``max_attempts``.
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_attempts=int(max_attempts))
+        )
+        self.max_attempts = self.retry.max_attempts
+        if chaos is not None and not isinstance(chaos, ChaosSpec):
+            raise ConfigurationError(
+                f"chaos must be a ChaosSpec (or None), got {type(chaos).__name__}"
+            )
+        #: Deterministic fault-injection spec (None = inject nothing).
+        self.chaos = chaos if chaos is not None and chaos.active else None
         #: Batches dispatched so far (names distributed batch directories).
         self._batch_count = 0
         if isinstance(sample_shard, str):
@@ -548,36 +616,54 @@ class CampaignEngine:
             and self.backend != BACKEND_DISTRIBUTED
             else None
         )
-        payload = (qmodel, x, labels, config, units, golden)
-        if pending:
-            if self.backend == BACKEND_DISTRIBUTED:
-                executor = self._run_distributed(payload, pending, keys)
-            else:
-                runner = (
-                    self._run_parallel
-                    if self.workers > 1
-                    and len(pending) > 1
-                    and _fork_context() is not None
-                    else self._run_serial
-                )
-                executor = runner(payload, pending)
-            for index, result, elapsed in executor:
-                if isinstance(result, _UnitFailure):
-                    self._raise_unit_failure(
-                        qmodel, x, labels, config, units, keys, index, result
-                    )
-                slots[index] = result
-                done += 1
-                if checkpoint is not None:
+        payload = (
+            qmodel, x, labels, config, units, golden,
+            keys, self.chaos, self.retry,
+        )
+
+        def absorb(index: int, result, elapsed: float) -> None:
+            """Fold one completed live unit into slots/checkpoint/progress."""
+            nonlocal done
+            slots[index] = result
+            done += 1
+            if checkpoint is not None:
+                try:
                     checkpoint.put(keys[index], result)
-                self._report(
-                    meter, done, len(units), result, units[index].tag,
-                    cached=False, elapsed=elapsed,
+                except CheckpointWriteError:
+                    # The record is retained in the store's pending set;
+                    # the final flush retries with backoff and degrades
+                    # loudly if the disk never recovers.
+                    pass
+            self._report(
+                meter, done, len(units), result, units[index].tag,
+                cached=False, elapsed=elapsed,
+            )
+            if on_result is not None:
+                on_result(index, units[index], result, False)
+
+        # Completed work is persisted even when the batch ultimately
+        # raises (a permanent failure or a quarantine): the flush sits in
+        # a finally, retried with backoff and degrading to
+        # checkpoint-less completion — with a loud warning — when the
+        # disk never recovers.
+        try:
+            if pending and self.backend == BACKEND_DISTRIBUTED:
+                for index, result, elapsed in self._run_distributed(
+                    payload, pending, keys
+                ):
+                    if isinstance(result, _UnitFailure):
+                        self._raise_unit_failure(
+                            qmodel, x, labels, config, units, keys, index,
+                            result,
+                        )
+                    absorb(index, result, elapsed)
+            elif pending:
+                self._run_pool_waves(
+                    payload, pending, absorb,
+                    qmodel, x, labels, config, units, keys,
                 )
-                if on_result is not None:
-                    on_result(index, units[index], result, False)
-        if checkpoint is not None:
-            checkpoint.flush()
+        finally:
+            self._flush_with_retry(checkpoint)
 
         self.last_stats = SweepStats(
             total_units=len(units),
@@ -679,9 +765,132 @@ class CampaignEngine:
             return None
         if self._checkpoint is None:
             self._checkpoint = CampaignCheckpoint(
-                self.checkpoint_path, flush_every=self.flush_every
+                self.checkpoint_path,
+                flush_every=self.flush_every,
+                chaos=self.chaos,
             )
         return self._checkpoint
+
+    def _flush_with_retry(self, checkpoint: CampaignCheckpoint | None) -> None:
+        """Flush the checkpoint, retrying transient write failures.
+
+        A failed flush (``ENOSPC``, torn write — real or chaos-injected)
+        leaves every pending record in the store's memory, so each retry
+        re-attempts the full append after a policy backoff.  When the
+        budget is spent the engine *degrades to checkpoint-less
+        completion* with a loud warning instead of crashing a campaign
+        whose results are already computed: the batch returns normally,
+        and the unpersisted records are recomputed on the next resume.
+        """
+        if checkpoint is None:
+            return
+        attempt = 1
+        while True:
+            try:
+                checkpoint.flush()
+                return
+            except CheckpointWriteError as exc:
+                if attempt >= self.retry.max_attempts:
+                    warnings.warn(
+                        f"checkpoint {checkpoint.path}: flush failed "
+                        f"{attempt} time(s) ({exc}); DEGRADING to "
+                        "checkpoint-less completion — "
+                        f"{checkpoint.pending_records} completed record(s) "
+                        "exist only in memory and will be recomputed on "
+                        "the next resume",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    return
+                time.sleep(self.retry.backoff(attempt, "checkpoint-flush"))
+                attempt += 1
+
+    def _run_pool_waves(
+        self, payload, pending, absorb, qmodel, x, labels, config, units, keys
+    ) -> None:
+        """Pool/serial execution in retry waves under the unified policy.
+
+        Every unit in the wave is attempted once; transient failures
+        (chaos injections, deadline aborts, lost workers — per
+        :meth:`RetryPolicy.is_transient`) with budget remaining are
+        collected and re-dispatched as the next wave after a
+        deterministic backoff, exactly mirroring the distributed queue's
+        fail-requeue-reclaim cycle.  Permanent failures raise
+        immediately (the unit would fail identically forever); units
+        whose budget is spent are *quarantined* — the rest of the batch
+        still completes and persists, then one
+        :class:`~repro.errors.TaskQuarantinedError` names every
+        quarantined key, the same shape the distributed backend raises.
+        """
+        attempts = {index: 1 for index in pending}
+        quarantined: list[tuple[int, _UnitFailure]] = []
+        wave = list(pending)
+        while wave:
+            items = [(index, attempts[index]) for index in wave]
+            runner = (
+                self._run_parallel
+                if self.workers > 1
+                and len(items) > 1
+                and _fork_context() is not None
+                else self._run_serial
+            )
+            retry_next: list[int] = []
+            for index, result, elapsed in runner(payload, items):
+                if isinstance(result, _UnitFailure):
+                    if not result.transient:
+                        self._raise_unit_failure(
+                            qmodel, x, labels, config, units, keys, index,
+                            result,
+                        )
+                    if attempts[index] < self.retry.max_attempts:
+                        retry_next.append(index)
+                    else:
+                        quarantined.append((index, result))
+                    continue
+                absorb(index, result, elapsed)
+            if retry_next:
+                delay = max(
+                    self.retry.backoff(attempts[index], keys[index])
+                    for index in retry_next
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                for index in retry_next:
+                    attempts[index] += 1
+            wave = retry_next
+        if quarantined:
+            self._raise_quarantined(
+                qmodel, x, labels, config, units, keys, quarantined
+            )
+
+    def _raise_quarantined(
+        self, qmodel, x, labels, config, units, keys, quarantined
+    ) -> None:
+        """Raise exhausted-budget units as one :class:`TaskQuarantinedError`.
+
+        Mirrors the distributed backend's quarantine report: the error
+        names the first quarantined unit's key and tag plus *every*
+        quarantined key, so campaign scripts see one uniform failure
+        shape whichever backend ran the batch.
+        """
+        resolved = []
+        for index, failure in quarantined:
+            key = keys[index]
+            if not key:
+                model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
+                key = units[index].key(model_fp, data_fp, config)
+            resolved.append((index, key, failure))
+        first_index, first_key, first_failure = resolved[0]
+        more = f" (+{len(resolved) - 1} more)" if len(resolved) > 1 else ""
+        raise TaskQuarantinedError(
+            f"task {first_key} (tag {units[first_index].tag!r}) quarantined "
+            f"after {self.retry.max_attempts} attempt(s) in the "
+            f"{self.backend} backend{more}: {first_failure.message}\n"
+            f"{first_failure.details}",
+            task_key=first_key,
+            tag=units[first_index].tag,
+            quarantined_keys=tuple(key for _, key, _ in resolved),
+        )
 
     def _reduce(
         self,
@@ -736,9 +945,15 @@ class CampaignEngine:
         Without a checkpoint the pool backend never consults the keys,
         so they are skipped (hashing the model costs a pass over its
         weights); the distributed backend always needs them — they are
-        the queue's task identities and the shard rows' content keys.
+        the queue's task identities and the shard rows' content keys —
+        and so does an active chaos spec, whose injection decisions are
+        keyed by the unit's content hash.
         """
-        if self.checkpoint_path is None and self.backend != BACKEND_DISTRIBUTED:
+        if (
+            self.checkpoint_path is None
+            and self.backend != BACKEND_DISTRIBUTED
+            and self.chaos is None
+        ):
             return [""] * len(units)
         model_fp, data_fp = self._fingerprint(qmodel, x, labels, config)
         return batch_task_keys(model_fp, data_fp, config, units)
@@ -827,27 +1042,17 @@ class CampaignEngine:
             )
         )
 
-    def _run_serial(self, payload: tuple, pending: list[int]):
+    def _run_serial(self, payload: tuple, items: list[tuple[int, int]]):
         """In-process executor; failures come back as :class:`_UnitFailure`.
 
         Wrapping the serial path too keeps failure reporting identical
         across ``workers=1``, the pool and the distributed backend: the
         consumer always sees the failing unit's index and raises with
-        its key and tag attached.
+        its key and tag attached.  ``items`` are ``(table index,
+        attempt)`` pairs, exactly what the pool dispatches.
         """
-        qmodel, x, labels, config, tasks, golden = payload
-        for index in pending:
-            start = time.perf_counter()
-            try:
-                result = _evaluate_unit(
-                    qmodel, x, labels, config, tasks[index], golden
-                )
-            except Exception as exc:
-                result = _UnitFailure(
-                    message=f"{type(exc).__name__}: {exc}",
-                    details=traceback.format_exc(),
-                )
-            yield index, result, time.perf_counter() - start
+        for index, attempt in items:
+            yield _attempt_unit(payload, index, attempt)
 
     def _run_distributed(self, payload: tuple, pending: list[int], keys):
         """Work-queue executor: one batch directory under ``queue_dir``.
@@ -863,7 +1068,7 @@ class CampaignEngine:
         """
         from repro.runtime.distributed import run_distributed_batch
 
-        qmodel, x, labels, config, units, _ = payload
+        qmodel, x, labels, config, units = payload[:5]
         root = self.queue_dir / f"batch-{os.getpid()}-{self._batch_count:04d}"
         self._batch_count += 1
         yield from run_distributed_batch(
@@ -879,17 +1084,18 @@ class CampaignEngine:
             replay=self.replay,
             lease_timeout=self.lease_timeout,
             max_attempts=self.max_attempts,
+            chaos=self.chaos,
         )
 
-    def _run_parallel(self, payload: tuple, pending: list[int]):
+    def _run_parallel(self, payload: tuple, items: list[tuple[int, int]]):
         global _WORKER_PAYLOAD
         ctx = _fork_context()
-        processes = min(self.workers, len(pending))
+        processes = min(self.workers, len(items))
         # Publish before fork so children inherit by copy-on-write.
         _WORKER_PAYLOAD = payload
         try:
             with ctx.Pool(processes=processes) as pool:
-                yield from pool.imap_unordered(_run_task, pending, chunksize=1)
+                yield from pool.imap_unordered(_run_task, items, chunksize=1)
         finally:
             _WORKER_PAYLOAD = None
 

@@ -61,9 +61,14 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueueContentionError
+from repro.runtime.retry import RetryPolicy
 
 __all__ = ["Lease", "QueueStats", "WorkQueue"]
+
+#: Default bounded-retry policy for lock-contended SQLite operations:
+#: quick, tightly capped backoffs *on top of* SQLite's own busy_timeout.
+_IO_RETRY = RetryPolicy(max_attempts=5, base_delay=0.02, max_delay=0.5)
 
 #: Task lifecycle states (``state`` column values).
 STATE_PENDING = "pending"
@@ -148,6 +153,19 @@ class WorkQueue:
         Time source returning seconds (default ``time.time``).  Leases
         are compared across processes, so any replacement must be a wall
         clock; tests inject a fake to exercise expiry without sleeping.
+    busy_timeout:
+        Seconds SQLite itself blocks on a locked database before raising
+        ``sqlite3.OperationalError`` (default 30).  Every queue operation
+        additionally retries that error under a bounded backoff policy
+        (``io_retry``), so transient lock storms are absorbed and only
+        *pathological* contention surfaces — as a typed
+        :class:`~repro.errors.QueueContentionError` rather than a raw
+        SQLite exception.  Tests shrink this to exercise the contention
+        path without waiting.
+    io_retry:
+        Optional :class:`repro.runtime.RetryPolicy` for the per-operation
+        contention retry (default: 5 attempts, 20 ms base backoff).
+        Distinct from ``max_attempts``, which budgets *task* retries.
     """
 
     def __init__(
@@ -156,6 +174,8 @@ class WorkQueue:
         lease_timeout: float = 30.0,
         max_attempts: int = 3,
         clock=time.time,
+        busy_timeout: float = 30.0,
+        io_retry: RetryPolicy | None = None,
     ):
         if lease_timeout <= 0:
             raise ConfigurationError(
@@ -165,23 +185,34 @@ class WorkQueue:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
+        if busy_timeout <= 0:
+            raise ConfigurationError(
+                f"busy_timeout must be > 0 seconds, got {busy_timeout}"
+            )
         self.root = Path(root)
         self.db_path = self.root / _DB_NAME
         self.clock = clock
+        self.busy_timeout = float(busy_timeout)
+        self._io_retry = io_retry if io_retry is not None else _IO_RETRY
         self.root.mkdir(parents=True, exist_ok=True)
-        with self._connect() as conn:
-            conn.executescript(_SCHEMA)
-            # First creator wins: policy is stored once and shared.
-            with self._transaction(conn):
-                conn.execute(
-                    "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
-                    ("lease_timeout", repr(float(lease_timeout))),
-                )
-                conn.execute(
-                    "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
-                    ("max_attempts", str(int(max_attempts))),
-                )
-            rows = dict(conn.execute("SELECT k, v FROM meta"))
+
+        def _setup():
+            """Create the schema and record first-creator policy."""
+            with self._connect() as conn:
+                conn.executescript(_SCHEMA)
+                # First creator wins: policy is stored once and shared.
+                with self._transaction(conn):
+                    conn.execute(
+                        "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
+                        ("lease_timeout", repr(float(lease_timeout))),
+                    )
+                    conn.execute(
+                        "INSERT OR IGNORE INTO meta (k, v) VALUES (?, ?)",
+                        ("max_attempts", str(int(max_attempts))),
+                    )
+                return dict(conn.execute("SELECT k, v FROM meta"))
+
+        rows = self._guarded("open", _setup)
         self.lease_timeout = float(rows["lease_timeout"])
         self.max_attempts = int(rows["max_attempts"])
 
@@ -193,9 +224,45 @@ class WorkQueue:
         connections are bound to a thread/process, the database file is
         not.
         """
-        conn = sqlite3.connect(str(self.db_path), timeout=30.0, isolation_level=None)
-        conn.execute("PRAGMA busy_timeout = 30000")
+        conn = sqlite3.connect(
+            str(self.db_path),
+            timeout=self.busy_timeout,
+            isolation_level=None,
+        )
+        conn.execute(f"PRAGMA busy_timeout = {int(self.busy_timeout * 1000)}")
         return contextlib.closing(conn)
+
+    def _guarded(self, what: str, op):
+        """Run one queue operation under the bounded contention retry.
+
+        ``database is locked`` / ``database is busy`` errors — another
+        process holding the write lock past SQLite's own
+        ``busy_timeout`` — are retried with deterministic backoff up to
+        the I/O policy's attempt budget; every operation here is safe to
+        re-run (transactions roll back on error, the statements are
+        idempotent).  Exhaustion surfaces as a typed
+        :class:`~repro.errors.QueueContentionError` naming the operation
+        and database, so callers can branch on contention as a failure
+        class; any *other* ``OperationalError`` (corruption, bad schema)
+        propagates untouched on the first occurrence.
+        """
+        attempt = 1
+        while True:
+            try:
+                return op()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt >= self._io_retry.max_attempts:
+                    raise QueueContentionError(
+                        f"work queue {self.db_path}: {what!r} still lock-"
+                        f"contended after {attempt} attempt(s) with backoff "
+                        f"({exc}); another process is holding the database "
+                        "write lock pathologically long"
+                    ) from exc
+                time.sleep(self._io_retry.backoff(attempt, what))
+                attempt += 1
 
     @staticmethod
     @contextlib.contextmanager
@@ -224,14 +291,24 @@ class WorkQueue:
         whatever state it is already in.
         """
         rows = [(key, json.dumps(spec, sort_keys=True)) for key, spec in items]
-        with self._connect() as conn:
-            with self._transaction(conn):
-                before = conn.execute("SELECT COUNT(*) FROM tasks").fetchone()[0]
-                conn.executemany(
-                    "INSERT OR IGNORE INTO tasks (key, spec) VALUES (?, ?)", rows
-                )
-                after = conn.execute("SELECT COUNT(*) FROM tasks").fetchone()[0]
-        return after - before
+
+        def op():
+            """Insert-or-ignore the rows; count how many were new."""
+            with self._connect() as conn:
+                with self._transaction(conn):
+                    before = conn.execute(
+                        "SELECT COUNT(*) FROM tasks"
+                    ).fetchone()[0]
+                    conn.executemany(
+                        "INSERT OR IGNORE INTO tasks (key, spec) VALUES (?, ?)",
+                        rows,
+                    )
+                    after = conn.execute(
+                        "SELECT COUNT(*) FROM tasks"
+                    ).fetchone()[0]
+            return after - before
+
+        return self._guarded("enqueue", op)
 
     # --- worker side --------------------------------------------------------------
     def claim(self, owner: str, now: float | None = None) -> Lease | None:
@@ -247,44 +324,50 @@ class WorkQueue:
         (:meth:`stats` distinguishes drained from busy).
         """
         now = self.clock() if now is None else now
-        with self._connect() as conn:
-            with self._transaction(conn):
-                while True:
-                    row = conn.execute(
-                        "SELECT key, spec, attempts, owner FROM tasks "
-                        "WHERE state = ? OR (state = ? AND lease_expiry <= ?) "
-                        "ORDER BY rowid LIMIT 1",
-                        (STATE_PENDING, STATE_LEASED, now),
-                    ).fetchone()
-                    if row is None:
-                        return None
-                    key, spec, attempts, prev_owner = row
-                    if attempts >= self.max_attempts:
+
+        def op():
+            """Scan-and-lease inside one BEGIN IMMEDIATE transaction."""
+            with self._connect() as conn:
+                with self._transaction(conn):
+                    while True:
+                        row = conn.execute(
+                            "SELECT key, spec, attempts, owner FROM tasks "
+                            "WHERE state = ? OR (state = ? AND lease_expiry <= ?) "
+                            "ORDER BY rowid LIMIT 1",
+                            (STATE_PENDING, STATE_LEASED, now),
+                        ).fetchone()
+                        if row is None:
+                            return None
+                        key, spec, attempts, prev_owner = row
+                        if attempts >= self.max_attempts:
+                            conn.execute(
+                                "UPDATE tasks SET state = ?, owner = NULL, "
+                                "lease_expiry = NULL, error = ? WHERE key = ?",
+                                (
+                                    STATE_QUARANTINED,
+                                    f"task {key} quarantined: lease expired after "
+                                    f"{attempts} attempt(s) (last owner "
+                                    f"{prev_owner!r}) and the retry budget of "
+                                    f"{self.max_attempts} is spent",
+                                    key,
+                                ),
+                            )
+                            continue
                         conn.execute(
-                            "UPDATE tasks SET state = ?, owner = NULL, "
-                            "lease_expiry = NULL, error = ? WHERE key = ?",
-                            (
-                                STATE_QUARANTINED,
-                                f"task {key} quarantined: lease expired after "
-                                f"{attempts} attempt(s) (last owner "
-                                f"{prev_owner!r}) and the retry budget of "
-                                f"{self.max_attempts} is spent",
-                                key,
-                            ),
+                            "UPDATE tasks SET state = ?, owner = ?, "
+                            "lease_expiry = ?, attempts = attempts + 1 "
+                            "WHERE key = ?",
+                            (STATE_LEASED, owner, now + self.lease_timeout, key),
                         )
-                        continue
-                    conn.execute(
-                        "UPDATE tasks SET state = ?, owner = ?, "
-                        "lease_expiry = ?, attempts = attempts + 1 WHERE key = ?",
-                        (STATE_LEASED, owner, now + self.lease_timeout, key),
-                    )
-                    return Lease(
-                        key=key,
-                        spec=json.loads(spec),
-                        attempt=attempts + 1,
-                        owner=owner,
-                        expires=now + self.lease_timeout,
-                    )
+                        return Lease(
+                            key=key,
+                            spec=json.loads(spec),
+                            attempt=attempts + 1,
+                            owner=owner,
+                            expires=now + self.lease_timeout,
+                        )
+
+        return self._guarded("claim", op)
 
     def heartbeat(self, key: str, owner: str, now: float | None = None) -> bool:
         """Extend a held lease; returns False when the lease was lost.
@@ -295,13 +378,18 @@ class WorkQueue:
         assume exclusivity.
         """
         now = self.clock() if now is None else now
-        with self._connect() as conn:
-            cursor = conn.execute(
-                "UPDATE tasks SET lease_expiry = ? "
-                "WHERE key = ? AND owner = ? AND state = ?",
-                (now + self.lease_timeout, key, owner, STATE_LEASED),
-            )
-            return cursor.rowcount == 1
+
+        def op():
+            """Extend the lease expiry if still held by this owner."""
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "UPDATE tasks SET lease_expiry = ? "
+                    "WHERE key = ? AND owner = ? AND state = ?",
+                    (now + self.lease_timeout, key, owner, STATE_LEASED),
+                )
+                return cursor.rowcount == 1
+
+        return self._guarded("heartbeat", op)
 
     def complete(self, key: str, owner: str) -> None:
         """Mark a task done (idempotent, accepted even from a lost lease).
@@ -310,12 +398,16 @@ class WorkQueue:
         computed a reclaimed copy — and their shard rows are identical by
         content addressing, so completion never checks ownership.
         """
-        with self._connect() as conn:
-            conn.execute(
-                "UPDATE tasks SET state = ?, owner = ?, lease_expiry = NULL, "
-                "error = NULL WHERE key = ?",
-                (STATE_DONE, owner, key),
-            )
+        def op():
+            """Mark the row done regardless of current lease ownership."""
+            with self._connect() as conn:
+                conn.execute(
+                    "UPDATE tasks SET state = ?, owner = ?, lease_expiry = NULL, "
+                    "error = NULL WHERE key = ?",
+                    (STATE_DONE, owner, key),
+                )
+
+        self._guarded("complete", op)
 
     def fail(
         self, key: str, owner: str, error: str, now: float | None = None
@@ -327,71 +419,94 @@ class WorkQueue:
         quarantined with the failing task key and this error recorded,
         and will never be claimed again.
         """
-        with self._connect() as conn:
-            with self._transaction(conn):
-                row = conn.execute(
-                    "SELECT attempts FROM tasks WHERE key = ? AND state = ?",
-                    (key, STATE_LEASED),
-                ).fetchone()
-                if row is None:
-                    return False
-                attempts = row[0]
-                if attempts >= self.max_attempts:
+        def op():
+            """Requeue within budget, quarantine past it, atomically."""
+            with self._connect() as conn:
+                with self._transaction(conn):
+                    row = conn.execute(
+                        "SELECT attempts FROM tasks WHERE key = ? AND state = ?",
+                        (key, STATE_LEASED),
+                    ).fetchone()
+                    if row is None:
+                        return False
+                    attempts = row[0]
+                    if attempts >= self.max_attempts:
+                        conn.execute(
+                            "UPDATE tasks SET state = ?, owner = NULL, "
+                            "lease_expiry = NULL, error = ? WHERE key = ?",
+                            (
+                                STATE_QUARANTINED,
+                                f"task {key} quarantined after {attempts} "
+                                f"attempt(s); last error ({owner}): {error}",
+                                key,
+                            ),
+                        )
+                        return True
                     conn.execute(
                         "UPDATE tasks SET state = ?, owner = NULL, "
                         "lease_expiry = NULL, error = ? WHERE key = ?",
-                        (
-                            STATE_QUARANTINED,
-                            f"task {key} quarantined after {attempts} "
-                            f"attempt(s); last error ({owner}): {error}",
-                            key,
-                        ),
+                        (STATE_PENDING, error, key),
                     )
-                    return True
-                conn.execute(
-                    "UPDATE tasks SET state = ?, owner = NULL, "
-                    "lease_expiry = NULL, error = ? WHERE key = ?",
-                    (STATE_PENDING, error, key),
-                )
-                return False
+                    return False
+
+        return self._guarded("fail", op)
 
     # --- observation --------------------------------------------------------------
     def stats(self) -> QueueStats:
         """Current per-state task counts."""
-        with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT state, COUNT(*) FROM tasks GROUP BY state"
-            ).fetchall()
+
+        def op():
+            """Group-count the task states."""
+            with self._connect() as conn:
+                return conn.execute(
+                    "SELECT state, COUNT(*) FROM tasks GROUP BY state"
+                ).fetchall()
+
+        rows = self._guarded("stats", op)
         return QueueStats(**{state: count for state, count in rows})
 
     def has_work(self) -> bool:
         """True while any task is pending or leased (progress possible)."""
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT 1 FROM tasks WHERE state IN (?, ?) LIMIT 1",
-                (STATE_PENDING, STATE_LEASED),
-            ).fetchone()
-        return row is not None
+
+        def op():
+            """Probe for any pending/leased row."""
+            with self._connect() as conn:
+                return conn.execute(
+                    "SELECT 1 FROM tasks WHERE state IN (?, ?) LIMIT 1",
+                    (STATE_PENDING, STATE_LEASED),
+                ).fetchone()
+
+        return self._guarded("has_work", op) is not None
 
     def quarantined(self) -> list[tuple[str, int, str]]:
         """``(key, attempts, error)`` for every quarantined task."""
-        with self._connect() as conn:
-            return list(
-                conn.execute(
-                    "SELECT key, attempts, error FROM tasks "
-                    "WHERE state = ? ORDER BY rowid",
-                    (STATE_QUARANTINED,),
+
+        def op():
+            """List quarantined rows in enqueue order."""
+            with self._connect() as conn:
+                return list(
+                    conn.execute(
+                        "SELECT key, attempts, error FROM tasks "
+                        "WHERE state = ? ORDER BY rowid",
+                        (STATE_QUARANTINED,),
+                    )
                 )
-            )
+
+        return self._guarded("quarantined", op)
 
     def task(self, key: str) -> dict | None:
         """Full row for one task (state/attempts/owner/...), or None."""
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT key, spec, state, attempts, owner, lease_expiry, error "
-                "FROM tasks WHERE key = ?",
-                (key,),
-            ).fetchone()
+
+        def op():
+            """Fetch the full row for ``key``."""
+            with self._connect() as conn:
+                return conn.execute(
+                    "SELECT key, spec, state, attempts, owner, lease_expiry, "
+                    "error FROM tasks WHERE key = ?",
+                    (key,),
+                ).fetchone()
+
+        row = self._guarded("task", op)
         if row is None:
             return None
         return {

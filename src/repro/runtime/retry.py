@@ -1,0 +1,202 @@
+"""Unified retry policy: bounded attempts, deterministic backoff, deadlines.
+
+Before this module, every part of the campaign runtime handled transient
+infrastructure faults with its own ad-hoc rules: the pool backend
+propagated the first unit exception and lost the rest of the batch, the
+distributed queue carried a separate ``max_attempts`` budget, and nothing
+retried a failed checkpoint flush.  :class:`RetryPolicy` is the single
+policy object all of them now share:
+
+* **Attempt budget** — ``max_attempts`` claims/executions per unit, the
+  same number the distributed queue uses for lease quarantine, so "how
+  many times may this computation fail" has exactly one answer per
+  engine.
+* **Exponential backoff with deterministic jitter** — ``backoff(attempt,
+  key)`` returns ``base_delay * 2**(attempt-1)`` capped at ``max_delay``,
+  multiplied by a jitter factor drawn from the same keyed-Philox
+  construction as the fault injectors (:func:`repro.utils.rng.site_rng`):
+  the delay is a pure function of ``(key, attempt)``, so two reruns of a
+  chaos campaign sleep identically and stay bit-reproducible in wall
+  clock *shape*, not just in results.
+* **Transient-vs-permanent classification** — :meth:`is_transient` maps
+  the :mod:`repro.errors` taxonomy onto the retry decision: a
+  :class:`~repro.errors.TransientError` (chaos injections, queue
+  contention, deadline aborts, lost workers) is worth retrying; a
+  :class:`~repro.errors.ConfigurationError` or any other logic error
+  would fail identically on every attempt and is surfaced immediately.
+* **Per-unit deadline** — ``deadline`` seconds per unit execution,
+  enforced inside the worker by the :func:`unit_deadline` watchdog
+  (SIGALRM-based, POSIX main-thread only, a no-op elsewhere), turning a
+  hung unit into a retryable :class:`~repro.errors.UnitDeadlineError`
+  instead of a stalled campaign.
+
+The policy is a frozen dataclass: safe to share between the engine, the
+queue and every worker process, and safe to pickle into the distributed
+backend's batch payload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, TransientError, UnitDeadlineError
+from repro.utils.rng import site_rng
+
+__all__ = ["RetryPolicy", "unit_deadline"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, how spaced, and for which errors work is retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Execution/claim budget per unit (>= 1).  The pool backend re-runs
+        a transiently failed unit until this many attempts are spent and
+        then quarantines it; the distributed queue uses the same number
+        as its lease claim budget.
+    base_delay:
+        Backoff before the *second* attempt, in seconds.  Attempt ``n``
+        waits ``base_delay * 2**(n-1)`` (capped at ``max_delay``) times
+        the jitter factor.
+    max_delay:
+        Upper bound on any single backoff sleep, in seconds.
+    jitter:
+        Jitter half-width as a fraction of the delay (``0.25`` means the
+        realized delay is uniform in ``[0.75, 1.25] * delay``).  The draw
+        is keyed by ``(key, attempt)`` through the counter RNG, so it is
+        deterministic per unit — reproducible chaos runs sleep the same.
+    deadline:
+        Optional per-unit wall-clock budget in seconds, enforced by
+        :func:`unit_deadline` inside the executing worker.  ``None``
+        disables the watchdog.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    deadline: float | None = None
+
+    def __post_init__(self):
+        """Validate budgets and delays at construction."""
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError(
+                f"backoff delays must be >= 0 seconds, got "
+                f"base_delay={self.base_delay} max_delay={self.max_delay}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0 seconds (or None), got {self.deadline}"
+            )
+
+    @staticmethod
+    def is_transient(exc: BaseException) -> bool:
+        """True when ``exc`` is worth retrying under this policy.
+
+        Transient means the failure is an infrastructure condition —
+        anything in the :class:`~repro.errors.TransientError` branch of
+        the taxonomy (chaos injections, queue contention, deadline
+        aborts, lost workers) plus bare ``OSError``/``IOError`` (torn
+        writes, full disks, vanished files on shared mounts).  Logic
+        errors (:class:`~repro.errors.ConfigurationError`, shape/type
+        errors, arbitrary exceptions from user code) are permanent: the
+        unit is a pure function of its spec, so they recur identically.
+        """
+        return isinstance(exc, (TransientError, OSError))
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Deterministic backoff delay (seconds) before retrying ``key``.
+
+        ``attempt`` is the attempt that just failed (1 = first
+        execution).  Exponential in the attempt number, capped at
+        ``max_delay``, jittered by a keyed-Philox draw that is a pure
+        function of ``(key, attempt)`` — no shared RNG state, so any
+        process computes the same schedule for the same unit.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return delay
+        u = float(site_rng(0, "retry-backoff", key, attempt).random())
+        return delay * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+    def identity(self) -> dict:
+        """JSON-serializable form (engine metadata, payload transport)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_identity(cls, doc: dict) -> "RetryPolicy":
+        """Inverse of :meth:`identity`."""
+        return cls(
+            max_attempts=int(doc.get("max_attempts", 3)),
+            base_delay=float(doc.get("base_delay", 0.05)),
+            max_delay=float(doc.get("max_delay", 5.0)),
+            jitter=float(doc.get("jitter", 0.25)),
+            deadline=(
+                None
+                if doc.get("deadline") is None
+                else float(doc["deadline"])
+            ),
+        )
+
+
+@contextlib.contextmanager
+def unit_deadline(seconds: float | None, what: str = "unit"):
+    """Abort the enclosed block after ``seconds`` with a deadline error.
+
+    A SIGALRM watchdog: entered around one unit evaluation in a worker
+    process, it arms an interval timer and raises
+    :class:`~repro.errors.UnitDeadlineError` (a transient error — the
+    retry policy re-runs the unit) if the block outlives its budget.
+    Silently a no-op when ``seconds`` is None, when not on the process's
+    main thread (signal handlers can only be installed there), or on
+    platforms without ``SIGALRM`` — a watchdog that cannot be armed must
+    not break the evaluation it was meant to guard.
+
+    The previous handler and timer are restored on exit, so nesting an
+    engine's serial path inside a user's own alarm handling stays safe.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        """SIGALRM handler: turn the stall into a typed, transient error."""
+        raise UnitDeadlineError(
+            f"{what} exceeded its {seconds:g}s deadline and was aborted "
+            "by the watchdog (transient: the retry policy re-runs it)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

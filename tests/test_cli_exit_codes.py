@@ -1,0 +1,128 @@
+"""CLI exit codes follow the errors taxonomy (ISSUE satellite f).
+
+Scripts and CI steps branch on exit status without scraping stderr, so
+each taxonomy family owns a distinct code — checked here through real
+``python -m repro.experiments.cli`` subprocesses, plus the in-process
+mapping rules (most-specific exception class wins).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import (
+    EXIT_CHECKPOINT,
+    EXIT_CONFIG,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    EXIT_TASK_FAILURE,
+    EXIT_USAGE,
+    CheckpointError,
+    CheckpointWriteError,
+    ChaosError,
+    ConfigurationError,
+    ReproError,
+    TaskExecutionError,
+    TaskQuarantinedError,
+    exit_code_for,
+)
+from repro.faultsim import SeedPointResult
+from repro.runtime import CampaignCheckpoint
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+@pytest.fixture()
+def clean_store(tmp_path):
+    path = tmp_path / "ck.json"
+    store = CampaignCheckpoint(path)
+    store.put("k-0", SeedPointResult(ber=1e-5, seed=0, accuracy=0.5, events=1))
+    store.flush()
+    return path
+
+
+class TestSubprocessExitCodes:
+    def test_fsck_clean_store_exits_zero(self, clean_store):
+        proc = run_cli("checkpoint", "fsck", str(clean_store))
+        assert proc.returncode == EXIT_OK, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_fsck_damaged_store_exits_checkpoint_code(self, clean_store):
+        data = clean_store.read_bytes()
+        clean_store.write_bytes(data[:-7])  # tear the last record
+        proc = run_cli("checkpoint", "fsck", str(clean_store))
+        assert proc.returncode == EXIT_CHECKPOINT
+        assert "DAMAGED" in proc.stdout
+
+    def test_fsck_repair_of_damaged_store_exits_zero(self, clean_store):
+        data = clean_store.read_bytes()
+        clean_store.write_bytes(data[:-7])
+        proc = run_cli("checkpoint", "fsck", str(clean_store), "--repair")
+        assert proc.returncode == EXIT_OK, proc.stdout
+        rescan = run_cli("checkpoint", "fsck", str(clean_store), "--json")
+        assert rescan.returncode == EXIT_OK
+        assert json.loads(rescan.stdout)["unrecoverable"] == 0
+
+    def test_fsck_missing_path_exits_checkpoint_code(self, tmp_path):
+        proc = run_cli("checkpoint", "fsck", str(tmp_path / "nope"))
+        assert proc.returncode == EXIT_CHECKPOINT
+        assert "error:" in proc.stderr
+
+    def test_argparse_usage_error_exits_two(self):
+        proc = run_cli("--no-such-flag")
+        assert proc.returncode == EXIT_USAGE
+
+    def test_malformed_chaos_spec_exits_config_code(self):
+        # Config errors are the operator's to fix, distinct from argparse
+        # usage errors (2) and runtime task failures (4).  The spec is
+        # validated before any figure starts, so this returns fast.
+        proc = run_cli("fig2", "--chaos", "meteor=1.0")
+        assert proc.returncode == EXIT_CONFIG
+        assert "error:" in proc.stderr and "meteor" in proc.stderr
+
+
+class TestExitCodeMapping:
+    def test_codes_are_distinct(self):
+        codes = [
+            EXIT_OK,
+            EXIT_FAILURE,
+            EXIT_USAGE,
+            EXIT_CONFIG,
+            EXIT_TASK_FAILURE,
+            EXIT_QUARANTINE,
+            EXIT_CHECKPOINT,
+        ]
+        assert len(set(codes)) == len(codes)
+
+    def test_most_specific_class_wins(self):
+        # Quarantine subclasses TaskExecutionError; CheckpointError
+        # subclasses ConfigurationError — the mapping must check the
+        # leaf classes first or everything collapses to the base codes.
+        assert exit_code_for(TaskQuarantinedError("x")) == EXIT_QUARANTINE
+        assert exit_code_for(TaskExecutionError("x")) == EXIT_TASK_FAILURE
+        assert exit_code_for(CheckpointWriteError("x")) == EXIT_CHECKPOINT
+        assert exit_code_for(CheckpointError("x")) == EXIT_CHECKPOINT
+        assert exit_code_for(ConfigurationError("x")) == EXIT_CONFIG
+
+    def test_unmapped_errors_fall_back_to_one(self):
+        assert exit_code_for(ReproError("x")) == EXIT_FAILURE
+        assert exit_code_for(ChaosError("x")) == EXIT_FAILURE
+        assert exit_code_for(RuntimeError("x")) == EXIT_FAILURE

@@ -104,8 +104,9 @@ def test_gate_actually_covers_both_packages():
     stats = [p for name, p in modules if name == "repro.stats"]
     backends = [p for name, p in modules if name == "repro.backends"]
     assert {p.name for p in runtime} == {
-        "__init__.py", "checkpoint.py", "distributed.py", "engine.py",
-        "hashing.py", "progress.py", "queue.py", "tasks.py",
+        "__init__.py", "chaos.py", "checkpoint.py", "distributed.py",
+        "engine.py", "hashing.py", "progress.py", "queue.py", "retry.py",
+        "tasks.py",
     }
     assert {p.name for p in tmr} == {
         "__init__.py", "cost.py", "planner.py", "schemes.py",

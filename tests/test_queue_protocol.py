@@ -10,12 +10,14 @@ double-claim exclusion with genuinely concurrent threads.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
+import time
 
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.runtime import Lease, WorkQueue
+from repro.errors import ConfigurationError, QueueContentionError
+from repro.runtime import Lease, RetryPolicy, WorkQueue
 from repro.runtime.distributed import run_worker, write_payload
 from repro.runtime.queue import (
     STATE_DONE,
@@ -245,3 +247,64 @@ class TestWorkerExit:
             assert run_worker(tmp_path, worker_id="w0", poll=0.02) == 0
         finally:
             finisher.join()
+
+
+class TestLockContention:
+    """Bounded retry on ``database is locked`` (ISSUE satellite a).
+
+    Every queue op runs under the shared I/O retry policy: transient
+    lock storms are absorbed; a pathologically held write lock exhausts
+    the budget and surfaces as a typed
+    :class:`~repro.errors.QueueContentionError` naming the operation.
+    """
+
+    @staticmethod
+    def locked_queue(tmp_path):
+        """A queue whose database another connection holds EXCLUSIVE."""
+        queue = WorkQueue(
+            tmp_path,
+            busy_timeout=0.05,
+            io_retry=RetryPolicy(
+                max_attempts=2, base_delay=0.01, max_delay=0.02, jitter=0.0
+            ),
+        )
+        fill(queue, KEYS[:1])
+        blocker = sqlite3.connect(
+            str(queue.db_path),
+            isolation_level=None,
+            check_same_thread=False,  # released from a helper thread
+        )
+        blocker.execute("BEGIN EXCLUSIVE")
+        return queue, blocker
+
+    def test_exhausted_lock_retries_raise_typed_error(self, tmp_path):
+        queue, blocker = self.locked_queue(tmp_path)
+        try:
+            with pytest.raises(QueueContentionError, match="'claim'"):
+                queue.claim("w0")
+            with pytest.raises(QueueContentionError, match="'stats'"):
+                queue.stats()
+        finally:
+            blocker.close()
+
+    def test_lock_released_mid_retry_recovers(self, tmp_path):
+        queue, blocker = self.locked_queue(tmp_path)
+
+        def release_soon():
+            time.sleep(0.03)  # inside attempt 1's busy wait + backoff
+            blocker.execute("ROLLBACK")
+
+        releaser = threading.Thread(target=release_soon)
+        releaser.start()
+        try:
+            lease = queue.claim("w0")  # absorbed: no error surfaces
+            assert lease is not None and lease.key == KEYS[0]
+        finally:
+            releaser.join()
+            blocker.close()
+
+    def test_non_lock_operational_errors_propagate_untouched(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.db_path.write_bytes(b"this is not a sqlite database\n")
+        with pytest.raises(sqlite3.DatabaseError):
+            queue.stats()

@@ -22,6 +22,7 @@ from repro.runtime import (
     point_key,
     task_key,
 )
+from repro.runtime.checkpoint import record_crc
 from repro.runtime.progress import ProgressEvent
 
 BERS = [1e-5, 3e-5, 1e-4]
@@ -37,7 +38,7 @@ def as_dicts(results):
 
 
 def checkpoint_lines(path):
-    """(header dict, point-record lines) of a version-2 checkpoint file."""
+    """(header dict, point-record lines) of a JSON-lines checkpoint file."""
     lines = path.read_text().splitlines()
     return json.loads(lines[0]), lines[1:]
 
@@ -191,10 +192,12 @@ class TestCheckpointResume:
             qm, x, y, BERS[:1], config=config
         )
         header, rows = checkpoint_lines(ckpt)
-        assert header == {"version": 2}
+        assert header == {"version": 3}
         assert len(rows) == len(config.seeds)
         for line in rows:
-            assert set(json.loads(line)) == {"key", "ber", "seed", "accuracy", "events"}
+            row = json.loads(line)
+            assert set(row) == {"key", "ber", "seed", "accuracy", "events", "crc"}
+            assert row["crc"] == record_crc(row)
 
     def test_legacy_v1_checkpoint_still_loads(
         self, tiny_quantized, tiny_eval, config, tmp_path
@@ -214,9 +217,9 @@ class TestCheckpointResume:
         resumed = CampaignEngine(workers=1, checkpoint_path=ckpt, resume=True)
         resumed.run_sweep(qm, x, y, BERS[:2], config=config)
         assert resumed.last_stats.cached_units == len(config.seeds)
-        # The flush upgraded the file to version 2 with all points intact.
+        # The flush upgraded the file to version 3 with all points intact.
         header, rows = checkpoint_lines(ckpt)
-        assert header == {"version": 2}
+        assert header == {"version": 3}
         assert len(rows) == 2 * len(config.seeds)
         store = CampaignCheckpoint(ckpt)
         for key, row in points.items():
@@ -345,7 +348,7 @@ class TestProgressAndCheckpointStore:
     def test_store_empty_file_is_fresh(self, tmp_path, content):
         """A zero-byte (touch-created, or crash-before-header) checkpoint
         loads as a fresh store — not a CheckpointError — and the first
-        flush rewrites it with a proper v2 header."""
+        flush rewrites it with a proper v3 header."""
         from repro.faultsim import SeedPointResult
 
         path = tmp_path / "ck.json"
@@ -355,7 +358,7 @@ class TestProgressAndCheckpointStore:
         store.put("abc", SeedPointResult(ber=1e-5, seed=3, accuracy=0.5, events=7))
         store.flush()
         lines = path.read_text().splitlines()
-        assert json.loads(lines[0]) == {"version": 2}
+        assert json.loads(lines[0]) == {"version": 3}
         reloaded = CampaignCheckpoint(path, strict=True)
         assert reloaded.get("abc") == SeedPointResult(
             ber=1e-5, seed=3, accuracy=0.5, events=7
@@ -436,7 +439,7 @@ class TestCheckpointDedupe:
         store.compact()
         lines = path.read_text().splitlines()
         assert len(lines) == 3
-        assert json.loads(lines[0]) == {"version": 2}
+        assert json.loads(lines[0]) == {"version": 3}
         rows = {json.loads(line)["key"] for line in lines[1:]}
         assert rows == {"abc", "xyz"}
         reloaded = CampaignCheckpoint(path, strict=True)

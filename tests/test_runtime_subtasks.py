@@ -146,7 +146,7 @@ class TestSubtaskGranularResume:
             )
         # The two finished subtasks are on disk as per-seed records.
         lines = ckpt.read_text().splitlines()
-        assert json.loads(lines[0]) == {"version": 2}
+        assert json.loads(lines[0]) == {"version": 3}
         finished = [json.loads(line) for line in lines[1:]]
         assert sorted(row["seed"] for row in finished) == [0, 1]
 
